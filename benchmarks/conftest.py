@@ -1,0 +1,31 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark regenerates one table or figure from the paper's
+evaluation at a reduced-but-representative problem size (the estimator
+is analytical, so sizes scale freely; ``--paper-scale`` reruns at the
+paper's exact sizes).  Benchmarks both *measure* the toolchain runtime
+(DSE is the toolchain per Section VII-B) via pytest-benchmark and
+*assert the paper's qualitative shape* -- who wins and by roughly what
+factor.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--paper-scale",
+        action="store_true",
+        default=False,
+        help="run benchmarks at the paper's exact problem sizes (slow)",
+    )
+
+
+@pytest.fixture(scope="session")
+def paper_scale(request):
+    return request.config.getoption("--paper-scale")
+
+
+@pytest.fixture(scope="session")
+def polybench_size(paper_scale):
+    return 4096 if paper_scale else 512

@@ -1,0 +1,52 @@
+"""Benchmark: Fig. 11 -- 2MM under varying resource constraints.
+
+Asserts the paper's shape: POM reaches higher performance than ScaleHLS
+at every budget fraction, and both frameworks' speedups grow (weakly)
+with the budget.
+"""
+
+import pytest
+
+from repro.evaluation import fig11
+
+
+@pytest.fixture(scope="module")
+def results(polybench_size):
+    return fig11.run(size=polybench_size, fractions=(0.25, 0.5, 1.0))
+
+
+def test_render(results, capsys):
+    print(fig11.render(results))
+    assert "Budget" in capsys.readouterr().out
+
+
+@pytest.mark.parametrize("fraction", (0.25, 0.5, 1.0))
+def test_pom_wins_at_every_budget(results, fraction):
+    pair = results[fraction]
+    assert pair["pom"].speedup >= pair["scalehls"].speedup
+
+
+def test_pom_speedup_monotone_in_budget(results):
+    speedups = [results[f]["pom"].speedup for f in (0.25, 0.5, 1.0)]
+    assert speedups == sorted(speedups)
+
+
+@pytest.mark.parametrize("fraction", (0.25, 0.5))
+def test_budgets_respected(results, fraction):
+    from repro.hls.device import XC7Z020
+
+    budget = XC7Z020.scaled(fraction)
+    report = results[fraction]["pom"].report
+    assert report.resources.dsp <= budget.dsp
+    assert report.resources.lut <= budget.lut
+
+
+def test_benchmark_constrained_dse(benchmark, polybench_size):
+    from repro.evaluation.frameworks import run_framework
+    from repro.workloads import polybench
+
+    result = benchmark(
+        run_framework, "pom", polybench.mm2, polybench_size,
+        resource_fraction=0.5,
+    )
+    assert result.speedup > 10

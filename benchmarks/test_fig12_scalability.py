@@ -1,0 +1,58 @@
+"""Benchmark: Fig. 12 -- scalability across problem sizes.
+
+Paper shape: POM and ScaleHLS both improve steadily up to mid sizes; at
+4096/8192 ScaleHLS degrades on the matrix kernels while POM keeps
+producing high-quality designs; at tiny sizes POM may trail slightly.
+"""
+
+import pytest
+
+from repro.evaluation import fig12
+
+QUICK_SIZES = (32, 512, 4096)
+
+
+@pytest.fixture(scope="module")
+def results(paper_scale):
+    sizes = fig12.SIZES if paper_scale else QUICK_SIZES
+    return fig12.run(sizes=sizes, benchmarks=("gemm", "bicg", "2mm"))
+
+
+def test_render(results, capsys):
+    print(fig12.render(results))
+    assert "POM/ScaleHLS" in capsys.readouterr().out
+
+
+@pytest.mark.parametrize("benchmark_name", ("gemm", "bicg", "2mm"))
+def test_pom_scales_to_large_sizes(results, benchmark_name):
+    by_size = results[benchmark_name]
+    sizes = sorted(by_size)
+    largest = by_size[sizes[-1]]["pom"].speedup
+    smallest = by_size[sizes[0]]["pom"].speedup
+    assert largest > smallest, "POM speedup must grow with problem size"
+
+
+@pytest.mark.parametrize("benchmark_name", ("bicg", "2mm"))
+def test_pom_wins_at_large_sizes(results, benchmark_name):
+    by_size = results[benchmark_name]
+    largest = max(by_size)
+    pair = by_size[largest]
+    assert pair["pom"].speedup > pair["scalehls"].speedup
+
+
+def test_pom_majority_of_points(results):
+    """Paper: POM superior for the majority of problem sizes."""
+    wins = total = 0
+    for by_size in results.values():
+        for pair in by_size.values():
+            total += 1
+            wins += pair["pom"].speedup >= pair["scalehls"].speedup
+    assert wins / total > 0.5
+
+
+def test_benchmark_small_size_pipeline(benchmark):
+    from repro.evaluation.frameworks import run_framework
+    from repro.workloads import polybench
+
+    result = benchmark(run_framework, "pom", polybench.gemm, 32)
+    assert result.speedup >= 1

@@ -1,0 +1,58 @@
+"""Benchmark: Fig. 13 -- accumulated DNN resource usage.
+
+Paper shape: POM's accumulated resource curve stays flat (operators are
+reused across sequentially executed layers) and within the device;
+ScaleHLS's dataflow curve accumulates per-layer hardware and climbs
+past the device budget.
+"""
+
+import pytest
+
+from repro.evaluation import fig13
+from repro.hls.device import XC7Z020
+
+
+@pytest.fixture(scope="module")
+def series(paper_scale):
+    if paper_scale:
+        return fig13.run(size=64, scale=1.0)
+    return fig13.run(size=fig13.DEFAULT_SIZE, scale=fig13.DEFAULT_SCALE)
+
+
+def test_render(series, capsys):
+    print(fig13.render(series))
+    assert "Accum. DSP" in capsys.readouterr().out
+
+
+def _by(series, framework, network):
+    return next(
+        s for s in series if s.framework == framework and s.network == network
+    )
+
+
+@pytest.mark.parametrize("network", ("vgg16", "resnet18"))
+def test_pom_curve_flat(series, network):
+    """Resource reuse: the accumulated max stops growing quickly."""
+    pom = _by(series, "pom", network)
+    assert pom.dsp[-1] == max(pom.dsp)
+    assert pom.dsp[-1] <= XC7Z020.dsp
+
+
+@pytest.mark.parametrize("network", ("vgg16", "resnet18"))
+def test_scalehls_curve_accumulates(series, network):
+    sh = _by(series, "scalehls", network)
+    assert sh.dsp[-1] >= sh.dsp[0]
+    assert sh.dsp == sorted(sh.dsp), "dataflow accumulation is monotone"
+
+
+@pytest.mark.parametrize("network", ("vgg16", "resnet18"))
+def test_scalehls_exceeds_pom_total(series, network):
+    pom = _by(series, "pom", network)
+    sh = _by(series, "scalehls", network)
+    assert sh.dsp[-1] > pom.dsp[-1]
+
+
+def test_critical_loop_counts(series):
+    """Paper: 13 critical loops for VGG-16, 20 for ResNet-18."""
+    assert len(_by(series, "pom", "vgg16").loops) == 13
+    assert len(_by(series, "pom", "resnet18").loops) == 20

@@ -1,0 +1,78 @@
+"""Benchmark: Fig. 14 -- impact analysis of scheduling primitives.
+
+Paper findings to reproduce: EdgeDetect gains most from pipelining
+(9.6x); Seidel is immune to LP/LU/AP and only moves once skewing is
+applied; 2MM needs the combination of loop transformations and
+hardware optimizations.
+"""
+
+import pytest
+
+from repro.evaluation import fig14
+
+
+@pytest.fixture(scope="module")
+def points():
+    return fig14.run()
+
+
+def _get(points, benchmark, variant):
+    return next(
+        p for p in points if p.benchmark == benchmark and p.variant == variant
+    )
+
+
+def test_render(points, capsys):
+    print(fig14.render(points))
+    assert "Primitives" in capsys.readouterr().out
+
+
+def test_edgedetect_pipelining_gain(points):
+    """Paper: EdgeDetect gains 9.6x from loop pipelining alone."""
+    assert _get(points, "edgedetect", "LP").speedup > 4
+
+
+def test_seidel_immune_to_hw_opts(points):
+    """Paper: "the improvement of Seidel applied with the same
+    optimization [pipelining] is limited" -- hardware-only variants stay
+    an order of magnitude below the skewed design."""
+    assert _get(points, "seidel", "LP").speedup < 2
+    for variant in ("LP+LU", "LP+LU+AP"):
+        assert _get(points, "seidel", variant).speedup < 10
+
+
+def test_seidel_needs_skewing(points):
+    """The big jump comes only once loop skewing is applied."""
+    full = _get(points, "seidel", "full (LI/LS/LT/LSK + HW)")
+    best_hw_only = max(
+        _get(points, "seidel", v).speedup for v in ("LP", "LP+LU", "LP+LU+AP")
+    )
+    assert full.speedup > 5 * best_hw_only
+
+
+def test_2mm_needs_combination(points):
+    """Paper: 2MM benefits most from transforms + hardware opts together."""
+    full = _get(points, "2mm", "full (LI/LS/LT/LSK + HW)")
+    partial = _get(points, "2mm", "LP+LU+AP")
+    assert full.speedup > 2 * partial.speedup
+
+
+def test_each_hw_layer_adds(points):
+    """LP <= LP+LU <= LP+LU+AP on the dependence-light benchmarks."""
+    for benchmark in ("edgedetect", "2mm"):
+        lp = _get(points, benchmark, "LP").speedup
+        lu = _get(points, benchmark, "LP+LU").speedup
+        ap = _get(points, benchmark, "LP+LU+AP").speedup
+        assert lp <= lu * 1.01 and lu <= ap * 1.01
+
+
+def test_resource_cost_grows_with_parallelism(points):
+    for benchmark in ("edgedetect", "2mm"):
+        base = _get(points, benchmark, "LP").dsp
+        full = _get(points, benchmark, "full (LI/LS/LT/LSK + HW)").dsp
+        assert full > base
+
+
+def test_benchmark_ablation_run(benchmark):
+    result = benchmark(fig14.run, {"edgedetect": 128, "seidel": 32, "2mm": 64})
+    assert result

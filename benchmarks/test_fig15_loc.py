@@ -1,0 +1,53 @@
+"""Benchmark: Fig. 15 -- lines-of-code comparison (DSL expressiveness).
+
+Paper shape: POM DSL with autoDSE needs far fewer lines than the
+equivalent HLS C (less than one-third for multi-loop benchmarks like
+3MM), and manual primitives sit in between.
+"""
+
+import pytest
+
+from repro.evaluation import fig15
+
+
+@pytest.fixture(scope="module")
+def points():
+    return fig15.run()
+
+
+def _get(points, name):
+    return next(p for p in points if p.benchmark == name)
+
+
+def test_render(points, capsys):
+    print(fig15.render(points))
+    assert "autoDSE" in capsys.readouterr().out
+
+
+def test_autodse_shorter_than_manual(points):
+    for p in points:
+        assert p.dsl_auto <= p.dsl_manual, p.benchmark
+
+
+def test_autodse_shorter_than_hls_c(points):
+    for p in points:
+        assert p.dsl_auto < p.hls_c, p.benchmark
+
+
+def test_multiloop_benchmarks_biggest_savings(points):
+    """Paper: under one-third of the HLS C for 3MM-class benchmarks."""
+    p = _get(points, "3mm")
+    assert p.dsl_auto / p.hls_c < 0.6
+
+
+def test_manual_overhead_scales_with_schedule(points):
+    gemm = _get(points, "gemm")
+    mm3 = _get(points, "3mm")
+    assert (mm3.dsl_manual - mm3.dsl_auto) >= (gemm.dsl_manual - gemm.dsl_auto)
+
+
+def test_benchmark_loc_harness(benchmark):
+    from repro.workloads import polybench
+
+    result = benchmark(fig15.run, {"gemm": polybench.gemm})
+    assert result[0].hls_c > 0

@@ -1,0 +1,63 @@
+"""Benchmark: Fig. 2 -- the BICG motivating example.
+
+Regenerates the latency/speedup comparison of baseline, Pluto, POLSCA,
+ScaleHLS, and POM on BICG and asserts the paper's ordering: Pluto gives
+nothing on FPGAs, POLSCA single digits, ScaleHLS is limited by the
+unsplittable nest, POM relieves both dependences at once.
+"""
+
+import pytest
+
+from repro.evaluation import fig2
+
+
+@pytest.fixture(scope="module")
+def results(polybench_size):
+    return fig2.run(size=polybench_size)
+
+
+def test_render_rows(results, capsys):
+    print(fig2.render(results))
+    out = capsys.readouterr().out
+    assert "pom" in out and "scalehls" in out
+
+
+def test_pluto_matches_baseline(results):
+    """Pluto's CPU schedule leaves FPGA latency untouched (Fig. 2c)."""
+    assert results["pluto"].speedup == pytest.approx(1.0, rel=0.1)
+
+
+def test_polsca_single_digit_speedup(results):
+    assert 1.0 < results["polsca"].speedup < 10.0
+
+
+def test_polsca_large_ii(results):
+    """Paper: POLSCA's BICG II = 161."""
+    assert results["polsca"].achieved_ii > 50
+
+
+def test_scalehls_limited_by_shared_nest(results):
+    sh = results["scalehls"]
+    assert sh.speedup > results["polsca"].speedup
+    assert sh.achieved_ii > 10  # paper: 43 counting unrolled iterations
+
+
+def test_pom_wins_by_large_factor(results):
+    """Paper: POM 224x vs ScaleHLS 41.7x (~5.4x better)."""
+    pom = results["pom"]
+    assert pom.speedup > 3 * results["scalehls"].speedup
+    assert pom.speedup > 100
+
+
+def test_pom_achieves_small_ii(results):
+    """Paper: POM's split-interchange-merge reaches II = 2."""
+    assert results["pom"].achieved_ii <= 4
+
+
+def test_benchmark_pom_toolchain(benchmark, polybench_size):
+    """Toolchain runtime (= DSE time, Section VII-B) for POM on BICG."""
+    from repro.evaluation.frameworks import run_framework
+    from repro.workloads import polybench
+
+    result = benchmark(run_framework, "pom", polybench.bicg, polybench_size)
+    assert result.speedup > 100

@@ -1,0 +1,103 @@
+"""Benchmark: Table III -- POLSCA / ScaleHLS / POM on the HLS suite.
+
+Asserts the paper's qualitative shape per benchmark: POLSCA stays at
+single digits with huge IIs and tiny DSP; POM matches ScaleHLS on GEMM
+(paper ratio 0.99x), beats it substantially on BICG/2MM/3MM, and stays
+within the device budget everywhere.
+"""
+
+import pytest
+
+from repro.evaluation import table3
+
+
+@pytest.fixture(scope="module")
+def results(polybench_size):
+    return table3.run(size=polybench_size)
+
+
+def test_render(results, capsys):
+    print(table3.render(results))
+    assert "gemm" in capsys.readouterr().out
+
+
+@pytest.mark.parametrize("benchmark_name", table3.BENCHMARKS)
+def test_polsca_weak_everywhere(results, benchmark_name):
+    polsca = results[benchmark_name]["polsca"]
+    assert polsca.speedup < 30
+    assert polsca.report.resources.dsp < 30
+
+
+@pytest.mark.parametrize("benchmark_name", table3.BENCHMARKS)
+def test_pom_beats_polsca(results, benchmark_name):
+    by_framework = results[benchmark_name]
+    assert by_framework["pom"].speedup > 5 * by_framework["polsca"].speedup
+
+
+@pytest.mark.parametrize("benchmark_name", table3.BENCHMARKS)
+def test_pom_feasible(results, benchmark_name):
+    assert results[benchmark_name]["pom"].report.feasible()
+
+
+def test_gemm_pom_matches_scalehls(results):
+    """Paper: 575.9x vs 576.1x (ratio 0.99).
+
+    GEMM is the kernel where ScaleHLS needs no splitting/skewing, so the
+    two frameworks land close together (unlike the 3-16x wins elsewhere);
+    at reduced sizes POM's fill/drain advantage shows a bit more.
+    """
+    ratio = results["gemm"]["pom"].speedup / results["gemm"]["scalehls"].speedup
+    assert 0.8 < ratio < 2.0
+
+
+def test_bicg_pom_wins_big(results):
+    """Paper: 224x vs 41.7x (5.4x)."""
+    ratio = results["bicg"]["pom"].speedup / results["bicg"]["scalehls"].speedup
+    assert ratio > 3
+
+
+def test_2mm_3mm_pom_wins(results):
+    """Paper: 16.4x on 2MM, 8.4x on 3MM."""
+    for name in ("2mm", "3mm"):
+        ratio = results[name]["pom"].speedup / results[name]["scalehls"].speedup
+        assert ratio > 1.5, name
+
+
+def test_3mm_scalehls_imbalanced(results):
+    """Paper: ScaleHLS leaves the later 3MM loops nearly untouched."""
+    tiles = results["3mm"]["scalehls"].tiles
+    products = [
+        max(1, __import__("math").prod(vector)) for vector in tiles.values()
+    ]
+    assert max(products) >= 4 * min(products)
+
+
+def test_3mm_pom_balanced(results):
+    """Paper: POM tiles all three products comparably ([1,2,8] each)."""
+    import math
+
+    tiles = results["3mm"]["pom"].tiles
+    products = [max(1, math.prod(v)) for v in tiles.values()]
+    assert max(products) <= 4 * min(products)
+
+
+def test_pom_parallelism_reported(results):
+    """Paper parallelism degrees: 32/16/16/32/16."""
+    for name in table3.BENCHMARKS:
+        assert results[name]["pom"].parallelism >= 8
+
+
+def test_power_tracks_resources(results):
+    """More DSP/LUT/FF -> more watts (Table III power column)."""
+    polsca = results["gemm"]["polsca"].report
+    pom = results["gemm"]["pom"].report
+    assert polsca.power_w < pom.power_w
+
+
+def test_benchmark_table3_pom_column(benchmark, polybench_size):
+    """Measure regenerating POM's Table III column for one kernel."""
+    from repro.evaluation.frameworks import run_framework
+    from repro.workloads import polybench
+
+    result = benchmark(run_framework, "pom", polybench.gemm, polybench_size)
+    assert result.report.feasible()

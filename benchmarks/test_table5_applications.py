@@ -1,0 +1,75 @@
+"""Benchmark: Table V -- image processing and DNN applications.
+
+Paper shape: POM beats ScaleHLS on the image apps (P/S speedup 2.8-6x);
+on VGG-16 POM is ~2.6x faster; on ResNet-18 POM is slightly slower
+(0.9x) but uses a fraction of the resources -- and, crucially,
+ScaleHLS's dataflow designs exceed the device while POM's fit.
+"""
+
+import pytest
+
+from repro.evaluation import table5
+
+IMAGE_SIZE_QUICK = 512
+DNN_SIZE_QUICK = 8
+DNN_SCALE_QUICK = 0.25
+
+
+@pytest.fixture(scope="module")
+def results(paper_scale):
+    if paper_scale:
+        return table5.run()
+    return table5.run(
+        image_size=IMAGE_SIZE_QUICK,
+        dnn_size=DNN_SIZE_QUICK,
+        dnn_scale=DNN_SCALE_QUICK,
+    )
+
+
+def test_render(results, capsys):
+    print(table5.render(results))
+    assert "P/S" in capsys.readouterr().out
+
+
+@pytest.mark.parametrize("app", ("edgedetect", "gaussian", "blur"))
+def test_image_pom_beats_scalehls(results, app):
+    pair = results[app]
+    assert pair["pom"].speedup > pair["scalehls"].speedup
+
+
+@pytest.mark.parametrize("app", ("edgedetect", "gaussian", "blur"))
+def test_image_pom_large_speedups(results, app):
+    """Paper: 312x-356x for the image apps."""
+    assert results[app]["pom"].speedup > 30
+
+
+def test_dnn_pom_feasible(results):
+    for network in ("vgg16", "resnet18"):
+        assert results[network]["pom"].report.feasible(), network
+
+
+def test_resnet_scalehls_overflows_device(results):
+    """Paper: ScaleHLS's ResNet-18 LUT usage reaches 164% of the device."""
+    assert not results["resnet18"]["scalehls"].report.feasible()
+
+
+def test_resnet_pom_uses_fraction_of_scalehls_resources(results):
+    pair = results["resnet18"]
+    assert (
+        pair["pom"].report.resources.dsp
+        < pair["scalehls"].report.resources.dsp
+    )
+
+
+def test_vgg_pom_competitive(results):
+    """Paper: POM 2.6x over ScaleHLS on VGG-16."""
+    pair = results["vgg16"]
+    assert pair["pom"].speedup > 0.5 * pair["scalehls"].speedup
+
+
+def test_benchmark_image_dse(benchmark):
+    from repro.evaluation.frameworks import run_framework
+    from repro.workloads import image
+
+    result = benchmark(run_framework, "pom", image.blur, IMAGE_SIZE_QUICK)
+    assert result.speedup > 10

@@ -1,0 +1,46 @@
+"""Benchmark: Table VI -- critical-loop tiles / II / parallelism.
+
+Paper shape: with accurate dependence analysis POM reaches a higher
+parallelism degree than ScaleHLS on the image kernels' critical loops.
+"""
+
+import pytest
+
+from repro.evaluation import table6
+
+QUICK_SIZE = 512
+
+
+@pytest.fixture(scope="module")
+def results(paper_scale):
+    return table6.run(size=4096 if paper_scale else QUICK_SIZE)
+
+
+def test_render(results, capsys):
+    print(table6.render(results))
+    assert "Parallelism" in capsys.readouterr().out
+
+
+@pytest.mark.parametrize("app", ("gaussian", "blur"))
+def test_pom_higher_parallelism(results, app):
+    pair = results[app]
+    assert pair["pom"].parallelism >= pair["scalehls"].parallelism
+
+
+def test_pom_tiles_reported(results):
+    for app, pair in results.items():
+        assert pair["pom"].tiles, app
+
+
+def test_pom_small_ii(results):
+    """Paper: POM reaches II=1 on all three; we allow small IIs."""
+    for app, pair in results.items():
+        assert pair["pom"].achieved_ii <= 8, app
+
+
+def test_benchmark_table6_row(benchmark):
+    from repro.evaluation.frameworks import run_framework
+    from repro.workloads import image
+
+    result = benchmark(run_framework, "pom", image.gaussian, QUICK_SIZE)
+    assert result.tiles

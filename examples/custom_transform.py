@@ -1,0 +1,88 @@
+"""Extending the polyhedral transformation library.
+
+The paper highlights that "thanks to the efficient representation with
+integer sets and maps, POM can be easily extended to support more
+customized transformations" (Section V-B).  This example adds a new
+transformation -- *loop reversal* -- in a dozen lines by manipulating
+the statement's integer set and rewriting its accesses, then verifies
+it end to end against the reference semantics.
+
+Run:  python examples/custom_transform.py
+"""
+
+import numpy as np
+
+from repro.dsl import Function, compute, placeholder, var
+from repro.dsl.expr import IterRef
+from repro.affine import interpret, print_func
+from repro.isl.affine import AffineExpr
+from repro.polyir import PolyProgram
+from repro.polyir.statement import PolyStatement
+from repro.affine.lowering import lower_program
+
+
+def reverse(stmt: PolyStatement, dim: str, new_dim: str) -> PolyStatement:
+    """Reverse loop ``dim``: iterate ``new_dim = (lo + hi) - dim``.
+
+    A unimodular transformation expressed, like the built-ins, as a
+    dimension substitution on the iteration domain plus the matching
+    rewrite of the statement body and destination access.
+    """
+    lo, hi = stmt.domain.constant_bounds(dim)
+    if lo is None or hi is None:
+        raise ValueError(f"loop {dim!r} needs constant bounds to reverse")
+    total = lo + hi
+    replacement = AffineExpr.const(total) - AffineExpr.var(new_dim)
+    new_dims = [new_dim if d == dim else d for d in stmt.domain.dims]
+
+    new = stmt.copy()
+    new.domain = stmt.domain.substitute_dim(dim, replacement, new_dims)
+    new.loop_order = [new_dim if d == dim else d for d in stmt.loop_order]
+    binding = {dim: IterRef(new_dim) * (-1) + total}
+    new.body = stmt.body.substitute_iters(binding)
+    new.dest = stmt.dest.substitute_iters(binding)
+    return new
+
+
+def main():
+    with Function("prefix_scan") as f:
+        i = var("i", 1, 16)
+        A = placeholder("A", (16,))
+        compute("S", [i], A(i) + A(i - 1), A(i))
+
+    program = PolyProgram(f)
+    stmt = program.statement("S")
+    reversed_stmt = reverse(stmt, "i", "ir")
+    program.statements[0] = reversed_stmt
+
+    func_op = lower_program(program)
+    print("=== reversed loop (note: reversal breaks this scan on purpose) ===")
+    print(print_func(func_op))
+
+    # Reversal is NOT legal for a prefix scan (the dependence flips);
+    # demonstrate that the functional oracle catches exactly that.
+    arrays = f.allocate_arrays(seed=0)
+    expected = {k: v.copy() for k, v in arrays.items()}
+    f.reference_execute(expected)
+    interpret(func_op, arrays)
+    flipped = not np.allclose(arrays["A"], expected["A"])
+    print("\noracle detects the illegal reversal:", flipped)
+
+    # On an independent loop, reversal is legal and preserves semantics.
+    with Function("scale") as g:
+        i = var("i", 0, 16)
+        X = placeholder("X", (16,))
+        Y = placeholder("Y", (16,))
+        compute("T", [i], X(i) * 2.0, Y(i))
+    program = PolyProgram(g)
+    program.statements[0] = reverse(program.statement("T"), "i", "ir")
+    arrays = g.allocate_arrays(seed=1)
+    expected = {k: v.copy() for k, v in arrays.items()}
+    g.reference_execute(expected)
+    interpret(lower_program(program), arrays)
+    assert np.allclose(arrays["Y"], expected["Y"])
+    print("legal reversal on an independent loop preserves semantics")
+
+
+if __name__ == "__main__":
+    main()

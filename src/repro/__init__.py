@@ -1,0 +1,34 @@
+"""POM: an optimizing framework on multi-level IR for FPGA accelerators.
+
+A complete Python reproduction of "An Optimizing Framework on MLIR for
+Efficient FPGA-based Accelerator Generation" (HPCA 2024): the POM DSL,
+three explicit IR levels (dependence graph IR, polyhedral IR, annotated
+affine dialect), FPGA-oriented polyhedral transformations, a virtual
+HLS synthesis model, HLS C code generation, and the two-stage DSE
+engine -- plus reimplementations of the paper's comparator frameworks,
+its workloads, and an experiment harness regenerating every table and
+figure of the evaluation.
+
+Typical entry points::
+
+    from repro.dsl import Function, compute, placeholder, var
+    from repro.dse import auto_dse
+    from repro.pipeline import compile_to_hls_c, estimate
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "dsl",
+    "isl",
+    "depgraph",
+    "polyir",
+    "affine",
+    "hlsgen",
+    "hls",
+    "dse",
+    "baselines",
+    "workloads",
+    "evaluation",
+    "pipeline",
+]

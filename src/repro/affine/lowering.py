@@ -1,0 +1,129 @@
+"""Lowering from the polyhedral AST to the affine dialect (paper Fig. 9-d).
+
+Node mapping: for-node -> ``affine.for``, if-node -> ``affine.if``,
+block-node -> op sequence, user-node -> the recursive statement parser
+that turns the DSL expression attached to the node into arith/math ops
+with ``affine.load``/``affine.store`` memory accesses.  Hardware
+optimization annotations carried on AST nodes transfer onto the
+corresponding op attributes, and array partition schemes are recorded
+on the function op.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.dsl.expr import Access, BinaryOp, Call, Cast, Const, Expr, IterRef, to_affine
+from repro.dsl.function import Function
+from repro.isl.affine import AffineExpr
+from repro.isl.astbuild import AstNode, BlockNode, ForNode, IfNode, UserNode
+from repro.polyir.program import PolyProgram
+from repro.polyir.statement import PolyStatement
+from repro.affine.ir import (
+    AffineForOp,
+    AffineIfOp,
+    AffineLoadOp,
+    AffineStoreOp,
+    ArithOp,
+    Block,
+    CallOp,
+    CastOp,
+    ConstantOp,
+    FuncOp,
+    IndexOp,
+    ValueOp,
+)
+
+
+def lower_program(program: PolyProgram) -> FuncOp:
+    """Lower a polyhedral program (with built AST) to a FuncOp."""
+    ast = program.build_ast()
+    return lower_ast(ast, program.function)
+
+
+def lower_ast(ast: AstNode, function: Function) -> FuncOp:
+    """Lower an annotated polyhedral AST into the affine dialect."""
+    func = FuncOp(function.name, function.placeholders())
+    _lower_node(ast, func.body)
+    partitions = {
+        p.name: p.partition_scheme
+        for p in function.placeholders()
+        if p.partition_scheme is not None
+    }
+    if partitions:
+        func.attributes["partitions"] = partitions
+    return func
+
+
+def _lower_node(node: AstNode, block: Block) -> None:
+    if isinstance(node, ForNode):
+        loop = AffineForOp(node.iterator, node.lowers, node.uppers)
+        for key in ("pipeline", "unroll"):
+            if key in node.annotations:
+                loop.attributes[key] = node.annotations[key]
+        _lower_node(node.body, loop.body)
+        block.append(loop)
+    elif isinstance(node, IfNode):
+        guard = AffineIfOp(node.conditions)
+        _lower_node(node.body, guard.body)
+        block.append(guard)
+    elif isinstance(node, BlockNode):
+        for child in node.stmts:
+            _lower_node(child, block)
+    elif isinstance(node, UserNode):
+        block.append(_lower_user(node))
+    else:
+        raise TypeError(f"unknown AST node {node!r}")
+
+
+def _lower_user(node: UserNode) -> AffineStoreOp:
+    stmt: PolyStatement = node.payload
+    if not isinstance(stmt, PolyStatement):
+        raise TypeError(f"user node {node.name!r} carries no statement payload")
+    binding = {dim: _to_iter_expr(expr) for dim, expr in node.binding.items()}
+    body = stmt.body.substitute_iters(binding)
+    dest = stmt.dest.substitute_iters(binding)
+    value = lower_expr(body)
+    store = AffineStoreOp(dest.placeholder, dest.affine_indices(), value)
+    store.attributes["statement"] = stmt.name
+    return store
+
+
+def _to_iter_expr(expr: AffineExpr) -> Expr:
+    """Convert an affine binding expression back into a DSL expression."""
+    result: Expr = Const(expr.constant)
+    if expr.is_constant():
+        return result
+    terms: List[Expr] = []
+    for name, coeff in sorted(expr.coeffs.items()):
+        term: Expr = IterRef(name)
+        if coeff != 1:
+            term = term * coeff
+        terms.append(term)
+    combined = terms[0]
+    for term in terms[1:]:
+        combined = combined + term
+    if expr.constant:
+        combined = combined + expr.constant
+    return combined
+
+
+def lower_expr(expr: Expr) -> ValueOp:
+    """The recursive statement parser: DSL expression -> value op tree."""
+    if isinstance(expr, Const):
+        return ConstantOp(expr.value)
+    if isinstance(expr, Access):
+        return AffineLoadOp(expr.placeholder, expr.affine_indices())
+    if isinstance(expr, IterRef):
+        return IndexOp(AffineExpr.var(expr.name))
+    if isinstance(expr, BinaryOp):
+        try:
+            # Pure-iterator arithmetic folds into a single affine apply.
+            return IndexOp(to_affine(expr))
+        except ValueError:
+            return ArithOp(expr.op, lower_expr(expr.lhs), lower_expr(expr.rhs))
+    if isinstance(expr, Call):
+        return CallOp(expr.func, [lower_expr(a) for a in expr.args])
+    if isinstance(expr, Cast):
+        return CastOp(expr.dtype, lower_expr(expr.value))
+    raise TypeError(f"cannot lower expression {expr!r}")

@@ -1,0 +1,302 @@
+"""Parser for the MLIR-like textual form of the affine dialect.
+
+Round-trips with :func:`repro.affine.printer.print_func`: the printed
+text of any function parses back to an equivalent :class:`FuncOp`
+(same structure, bounds, attributes, and statements).  This gives the
+IR a serialization format -- golden tests, IR diffing, and shipping
+lowered designs between processes without pickling.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.dsl import dtypes
+from repro.dsl.placeholder import PartitionScheme, Placeholder
+from repro.isl.affine import AffineExpr
+from repro.isl.constraint import EQ, GE, Constraint
+from repro.isl.sets import LoopBound
+from repro.affine.ir import (
+    AffineForOp,
+    AffineIfOp,
+    AffineLoadOp,
+    AffineStoreOp,
+    ArithOp,
+    Block,
+    CallOp,
+    CastOp,
+    ConstantOp,
+    FuncOp,
+    IndexOp,
+    Op,
+    ValueOp,
+)
+
+_ARITH_KINDS = {"arith.addf": "+", "arith.subf": "-", "arith.mulf": "*",
+                "arith.divf": "/", "arith.remf": "%"}
+
+
+class ParseError(ValueError):
+    """The text is not a well-formed printed affine function."""
+
+
+def parse_func(text: str) -> FuncOp:
+    """Parse the output of :func:`print_func` back into a FuncOp."""
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        raise ParseError("empty input")
+    parser = _Parser(lines)
+    return parser.parse()
+
+
+class _Parser:
+    def __init__(self, lines: List[str]):
+        self.lines = lines
+        self.position = 0
+        self.arrays: Dict[str, Placeholder] = {}
+
+    def peek(self) -> str:
+        if self.position >= len(self.lines):
+            raise ParseError("unexpected end of input")
+        return self.lines[self.position].strip()
+
+    def advance(self) -> str:
+        line = self.peek()
+        self.position += 1
+        return line
+
+    # -- top level --------------------------------------------------------
+
+    def parse(self) -> FuncOp:
+        header = self.advance()
+        match = re.match(r"func\.func @(\w+)\((.*)\) \{$", header)
+        if not match:
+            raise ParseError(f"bad function header: {header!r}")
+        name, args = match.group(1), match.group(2)
+        placeholders = [self._parse_arg(a) for a in _split_args(args)] if args else []
+        self.arrays = {p.name: p for p in placeholders}
+        func = FuncOp(name, placeholders)
+
+        partitions = {}
+        while self.peek().startswith("// array_partition"):
+            array_name, scheme = self._parse_partition(self.advance())
+            partitions[array_name] = scheme
+            self.arrays[array_name].partition_scheme = scheme
+        if partitions:
+            func.attributes["partitions"] = partitions
+
+        self._parse_block(func.body)
+        closing = self.advance()
+        if closing != "}":
+            raise ParseError(f"expected closing brace, got {closing!r}")
+        return func
+
+    def _parse_arg(self, text: str) -> Placeholder:
+        match = re.match(r"%(\w+): memref<([\dx]+)x(\w+)>$", text.strip())
+        if not match:
+            raise ParseError(f"bad argument {text!r}")
+        name, dims, dtype_name = match.groups()
+        shape = tuple(int(d) for d in dims.split("x"))
+        return Placeholder(name, shape, dtypes.by_name(dtype_name))
+
+    def _parse_partition(self, line: str) -> Tuple[str, PartitionScheme]:
+        match = re.match(
+            r"// array_partition %(\w+) (\w+) \[([\d, ]+)\]$", line.strip()
+        )
+        if not match:
+            raise ParseError(f"bad partition comment {line!r}")
+        name, kind, factors = match.groups()
+        scheme = PartitionScheme(
+            tuple(int(f) for f in factors.split(",")), kind
+        )
+        return name, scheme
+
+    # -- structure ------------------------------------------------------------
+
+    def _parse_block(self, block: Block) -> None:
+        while True:
+            line = self.peek()
+            if line == "}":
+                return
+            if line.startswith("affine.for"):
+                block.append(self._parse_for())
+            elif line.startswith("affine.if"):
+                block.append(self._parse_if())
+            elif line.startswith("affine.store"):
+                block.append(self._parse_store(self.advance()))
+            else:
+                raise ParseError(f"unexpected line {line!r}")
+
+    def _parse_for(self) -> AffineForOp:
+        line = self.advance()
+        match = re.match(
+            r"affine\.for %(\w+) = (.+) to (.+) \+ 1(?: \{(.*)\})? \{$", line
+        )
+        if not match:
+            raise ParseError(f"bad affine.for: {line!r}")
+        iterator, lo_text, hi_text, attrs = match.groups()
+        loop = AffineForOp(
+            iterator,
+            self._parse_bounds(lo_text, is_lower=True),
+            self._parse_bounds(hi_text, is_lower=False),
+        )
+        if attrs:
+            for item in attrs.split(","):
+                key, value = item.split("=")
+                parsed = value.strip()
+                loop.attributes[key.strip()] = (
+                    int(parsed) if re.fullmatch(r"-?\d+", parsed) else parsed
+                )
+        self._parse_block(loop.body)
+        if self.advance() != "}":
+            raise ParseError("expected '}' closing affine.for")
+        return loop
+
+    def _parse_if(self) -> AffineIfOp:
+        line = self.advance()
+        match = re.match(r"affine\.if \((.+)\) \{$", line)
+        if not match:
+            raise ParseError(f"bad affine.if: {line!r}")
+        conditions = []
+        for clause in match.group(1).split(" and "):
+            cond_match = re.match(r"(.+) (==|>=) 0$", clause.strip())
+            if not cond_match:
+                raise ParseError(f"bad condition {clause!r}")
+            expr = _parse_affine(cond_match.group(1))
+            kind = EQ if cond_match.group(2) == "==" else GE
+            conditions.append(Constraint(expr, kind))
+        guard = AffineIfOp(conditions)
+        self._parse_block(guard.body)
+        if self.advance() != "}":
+            raise ParseError("expected '}' closing affine.if")
+        return guard
+
+    def _parse_store(self, line: str) -> AffineStoreOp:
+        match = re.match(r"affine\.store (.+), %(\w+)\[(.*)\]$", line)
+        if not match:
+            raise ParseError(f"bad affine.store: {line!r}")
+        value_text, array_name, index_text = match.groups()
+        array = self._array(array_name)
+        indices = [_parse_affine(part) for part in _split_args(index_text)]
+        value = self._parse_value(value_text.strip())
+        return AffineStoreOp(array, indices, value)
+
+    # -- values --------------------------------------------------------------------
+
+    def _parse_value(self, text: str) -> ValueOp:
+        for prefix, kind in _ARITH_KINDS.items():
+            if text.startswith(prefix + "("):
+                lhs, rhs = _split_args(_strip_call(text, prefix))
+                return ArithOp(kind, self._parse_value(lhs), self._parse_value(rhs))
+        if text.startswith("affine.load %"):
+            match = re.match(r"affine\.load %(\w+)\[(.*)\]$", text)
+            if not match:
+                raise ParseError(f"bad affine.load {text!r}")
+            array = self._array(match.group(1))
+            indices = [_parse_affine(p) for p in _split_args(match.group(2))]
+            return AffineLoadOp(array, indices)
+        if text.startswith("affine.apply("):
+            return IndexOp(_parse_affine(_strip_call(text, "affine.apply")))
+        if text.startswith("math."):
+            match = re.match(r"math\.(\w+)\((.*)\)$", text)
+            if not match:
+                raise ParseError(f"bad math call {text!r}")
+            operands = [self._parse_value(a) for a in _split_args(match.group(2))]
+            return CallOp(match.group(1), operands)
+        if text.startswith("arith.cast<"):
+            match = re.match(r"arith\.cast<(\w+)>\((.*)\)$", text)
+            if not match:
+                raise ParseError(f"bad cast {text!r}")
+            return CastOp(
+                dtypes.by_name(match.group(1)), self._parse_value(match.group(2))
+            )
+        try:
+            if re.fullmatch(r"-?\d+", text):
+                return ConstantOp(int(text))
+            return ConstantOp(float(text))
+        except ValueError:
+            raise ParseError(f"cannot parse value {text!r}") from None
+
+    def _array(self, name: str) -> Placeholder:
+        if name not in self.arrays:
+            raise ParseError(f"reference to undeclared array {name!r}")
+        return self.arrays[name]
+
+    # -- bounds ----------------------------------------------------------------------
+
+    def _parse_bounds(self, text: str, is_lower: bool) -> List[LoopBound]:
+        text = text.strip()
+        for combiner in ("max", "min"):
+            if text.startswith(combiner + "("):
+                parts = _split_args(_strip_call(text, combiner))
+                return [self._parse_bound_one(p, is_lower) for p in parts]
+        return [self._parse_bound_one(text, is_lower)]
+
+    @staticmethod
+    def _parse_bound_one(text: str, is_lower: bool) -> LoopBound:
+        text = text.strip()
+        match = re.match(r"\((.+)\) (ceildiv|floordiv) (\d+)$", text)
+        if match:
+            return LoopBound(
+                _parse_affine(match.group(1)), int(match.group(3)), is_lower
+            )
+        return LoopBound(_parse_affine(text), 1, is_lower)
+
+
+# -- shared helpers ----------------------------------------------------------------
+
+
+def _strip_call(text: str, prefix: str) -> str:
+    assert text.startswith(prefix + "(") and text.endswith(")")
+    return text[len(prefix) + 1:-1]
+
+
+def _split_args(text: str) -> List[str]:
+    """Split on top-level commas (parentheses/brackets/angles nest)."""
+    parts: List[str] = []
+    depth = 0
+    current = []
+    for char in text:
+        if char in "([<":
+            depth += 1
+        elif char in ")]>":
+            depth -= 1
+        if char == "," and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(char)
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    return parts
+
+
+def _parse_affine(text: str) -> AffineExpr:
+    """Parse the printer's affine rendering: ``%i * 4 + %j + -3``."""
+    expr = AffineExpr.const(0)
+    text = text.strip()
+    if not text:
+        raise ParseError("empty affine expression")
+    for term in _split_terms(text):
+        expr = expr + _parse_term(term)
+    return expr
+
+
+def _split_terms(text: str) -> List[str]:
+    # the printer joins terms with " + " at the top level only
+    return [t.strip() for t in text.split(" + ")]
+
+
+def _parse_term(term: str) -> AffineExpr:
+    match = re.fullmatch(r"%(\w+) \* (-?\d+)", term)
+    if match:
+        return AffineExpr({match.group(1): int(match.group(2))})
+    match = re.fullmatch(r"%(\w+)", term)
+    if match:
+        return AffineExpr.var(match.group(1))
+    match = re.fullmatch(r"-?\d+", term)
+    if match:
+        return AffineExpr.const(int(term))
+    raise ParseError(f"bad affine term {term!r}")

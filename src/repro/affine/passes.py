@@ -1,0 +1,356 @@
+"""Pass infrastructure and canonicalization passes for the affine dialect.
+
+Mirrors MLIR's pass manager in miniature: passes transform a
+:class:`~repro.affine.ir.FuncOp` in place and report whether they
+changed anything; the :class:`PassManager` runs a pipeline and can
+iterate to a fixed point.  The stock passes keep generated IR canonical
+-- trip-1 loops are promoted, constant guards folded, empty control
+flow deleted, dead annotations dropped -- and a verifier checks the
+structural invariants the backend and estimator rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.isl.affine import AffineExpr
+from repro.affine.ir import (
+    AffineForOp,
+    AffineIfOp,
+    AffineLoadOp,
+    AffineStoreOp,
+    ArithOp,
+    Block,
+    CallOp,
+    CastOp,
+    ConstantOp,
+    FuncOp,
+    IndexOp,
+    Op,
+    ValueOp,
+)
+
+
+class PassError(RuntimeError):
+    """A verification failure or an ill-formed pass pipeline."""
+
+
+class Pass:
+    """Base class: ``run`` returns True when it modified the function."""
+
+    name = "pass"
+
+    def run(self, func: FuncOp) -> bool:
+        raise NotImplementedError
+
+
+class PassManager:
+    """Runs a pass pipeline, optionally iterating to a fixed point."""
+
+    def __init__(self, passes: Optional[List[Pass]] = None, max_iterations: int = 8):
+        self.passes = passes if passes is not None else []
+        self.max_iterations = max_iterations
+
+    def add(self, pass_: Pass) -> "PassManager":
+        self.passes.append(pass_)
+        return self
+
+    def run(self, func: FuncOp, to_fixed_point: bool = False) -> bool:
+        changed_any = False
+        for _ in range(self.max_iterations if to_fixed_point else 1):
+            changed = False
+            for pass_ in self.passes:
+                changed |= pass_.run(func)
+            changed_any |= changed
+            if not changed:
+                break
+        return changed_any
+
+
+# -- canonicalization passes ----------------------------------------------------
+
+
+def _rewrite_block(block: Block, rewrite: Callable[[Op], Optional[List[Op]]]) -> bool:
+    """Apply ``rewrite`` bottom-up; None keeps the op, a list replaces it."""
+    changed = False
+    new_ops: List[Op] = []
+    for op in block.ops:
+        for region in op.regions():
+            changed |= _rewrite_block(region, rewrite)
+        replacement = rewrite(op)
+        if replacement is None:
+            new_ops.append(op)
+        else:
+            changed = True
+            new_ops.extend(replacement)
+    block.ops[:] = new_ops
+    return changed
+
+
+def _substitute_value(value: ValueOp, name: str, constant: int) -> ValueOp:
+    if isinstance(value, IndexOp):
+        return IndexOp(value.expr.substitute({name: constant}))
+    if isinstance(value, AffineLoadOp):
+        return AffineLoadOp(
+            value.array, [i.substitute({name: constant}) for i in value.indices]
+        )
+    if isinstance(value, ArithOp):
+        return ArithOp(
+            value.kind,
+            _substitute_value(value.lhs, name, constant),
+            _substitute_value(value.rhs, name, constant),
+        )
+    if isinstance(value, CallOp):
+        return CallOp(value.func, [_substitute_value(a, name, constant) for a in value.operands])
+    if isinstance(value, CastOp):
+        return CastOp(value.dtype, _substitute_value(value.operand, name, constant))
+    return value
+
+
+def _substitute_op(op: Op, name: str, constant: int) -> None:
+    """Bind iterator ``name`` to a constant everywhere below ``op``."""
+    if isinstance(op, AffineForOp):
+        from repro.isl.sets import LoopBound
+
+        op.lowers = [
+            LoopBound(b.expr.substitute({name: constant}), b.divisor, b.is_lower)
+            for b in op.lowers
+        ]
+        op.uppers = [
+            LoopBound(b.expr.substitute({name: constant}), b.divisor, b.is_lower)
+            for b in op.uppers
+        ]
+        for inner in op.body:
+            _substitute_op(inner, name, constant)
+    elif isinstance(op, AffineIfOp):
+        op.conditions = [c.substitute({name: constant}) for c in op.conditions]
+        for inner in op.body:
+            _substitute_op(inner, name, constant)
+    elif isinstance(op, AffineStoreOp):
+        op.indices = [i.substitute({name: constant}) for i in op.indices]
+        op.value = _substitute_value(op.value, name, constant)
+
+
+class PromoteTripOneLoops(Pass):
+    """Replace a loop with constant trip count 1 by its body.
+
+    The iterator is bound to its single value throughout the body --
+    the canonical form expected after unit-factor tiling.
+    """
+
+    name = "promote-trip-one-loops"
+
+    def run(self, func: FuncOp) -> bool:
+        def rewrite(op: Op):
+            if not isinstance(op, AffineForOp):
+                return None
+            if op.constant_trip_count() != 1:
+                return None
+            value = max(b.evaluate({}) for b in op.lowers if b.expr.is_constant())
+            body = list(op.body.ops)
+            for inner in body:
+                _substitute_op(inner, op.iterator, value)
+            return body
+
+        return _rewrite_block(func.body, rewrite)
+
+
+class FoldConstantGuards(Pass):
+    """Resolve affine.if ops whose conditions are constants."""
+
+    name = "fold-constant-guards"
+
+    def run(self, func: FuncOp) -> bool:
+        def rewrite(op: Op):
+            if not isinstance(op, AffineIfOp):
+                return None
+            remaining = [c for c in op.conditions if not c.is_tautology()]
+            if any(c.is_contradiction() for c in remaining):
+                return []  # dead region
+            if not remaining:
+                return list(op.body.ops)
+            if len(remaining) != len(op.conditions):
+                op.conditions = remaining
+                return [op]  # mutated in place; report the change
+            return None
+
+        return _rewrite_block(func.body, rewrite)
+
+
+class DropEmptyLoops(Pass):
+    """Delete loops and guards whose bodies became empty."""
+
+    name = "drop-empty-loops"
+
+    def run(self, func: FuncOp) -> bool:
+        def rewrite(op: Op):
+            if isinstance(op, (AffineForOp, AffineIfOp)) and len(op.body) == 0:
+                return []
+            if isinstance(op, AffineForOp) and op.constant_trip_count() == 0:
+                return []
+            return None
+
+        return _rewrite_block(func.body, rewrite)
+
+
+class DropDeadAnnotations(Pass):
+    """Remove unroll annotations from loops with a single iteration."""
+
+    name = "drop-dead-annotations"
+
+    def run(self, func: FuncOp) -> bool:
+        changed = False
+        for op in func.walk():
+            if isinstance(op, AffineForOp) and op.constant_trip_count() == 1:
+                for key in ("unroll", "pipeline"):
+                    if key in op.attributes:
+                        del op.attributes[key]
+                        changed = True
+        return changed
+
+
+class VerifyStructure(Pass):
+    """Check the invariants downstream consumers rely on.
+
+    * every loop iterator is unique along its nesting path;
+    * load/store ranks match their arrays;
+    * every dim referenced by an index or bound is a live iterator;
+    * pipeline/unroll attribute values are sane.
+    """
+
+    name = "verify"
+
+    def run(self, func: FuncOp) -> bool:
+        self._verify_block(func.body, [])
+        return False
+
+    def _verify_block(self, block: Block, iterators: List[str]) -> None:
+        for op in block:
+            if isinstance(op, AffineForOp):
+                if op.iterator in iterators:
+                    raise PassError(f"shadowed iterator {op.iterator!r}")
+                for bound in op.lowers + op.uppers:
+                    self._check_dims(bound.expr, iterators, f"bound of {op.iterator}")
+                pipeline = op.attributes.get("pipeline")
+                if pipeline is not None and pipeline < 1:
+                    raise PassError(f"loop {op.iterator}: pipeline II {pipeline} < 1")
+                unroll = op.attributes.get("unroll")
+                if unroll is not None and unroll < 0:
+                    raise PassError(f"loop {op.iterator}: unroll {unroll} < 0")
+                self._verify_block(op.body, iterators + [op.iterator])
+            elif isinstance(op, AffineIfOp):
+                for condition in op.conditions:
+                    self._check_dims(condition.expr, iterators, "guard")
+                self._verify_block(op.body, iterators)
+            elif isinstance(op, AffineStoreOp):
+                if len(op.indices) != len(op.array.shape):
+                    raise PassError(f"store to {op.array.name}: rank mismatch")
+                for index in op.indices:
+                    self._check_dims(index, iterators, f"store to {op.array.name}")
+                self._verify_value(op.value, iterators)
+            else:
+                raise PassError(f"unexpected op {op!r} in block")
+
+    def _verify_value(self, value: ValueOp, iterators: List[str]) -> None:
+        if isinstance(value, AffineLoadOp):
+            if len(value.indices) != len(value.array.shape):
+                raise PassError(f"load from {value.array.name}: rank mismatch")
+            for index in value.indices:
+                self._check_dims(index, iterators, f"load from {value.array.name}")
+        elif isinstance(value, IndexOp):
+            self._check_dims(value.expr, iterators, "affine.apply")
+        elif isinstance(value, ArithOp):
+            self._verify_value(value.lhs, iterators)
+            self._verify_value(value.rhs, iterators)
+        elif isinstance(value, CallOp):
+            for operand in value.operands:
+                self._verify_value(operand, iterators)
+        elif isinstance(value, CastOp):
+            self._verify_value(value.operand, iterators)
+        elif not isinstance(value, ConstantOp):
+            raise PassError(f"unexpected value {value!r}")
+
+    @staticmethod
+    def _check_dims(expr: AffineExpr, iterators: List[str], where: str) -> None:
+        for name in expr.dims():
+            if name not in iterators:
+                raise PassError(f"{where}: unknown iterator {name!r}")
+
+
+class InsertDependencePragmas(Pass):
+    """Attach ``#pragma HLS dependence ... inter false`` hints.
+
+    The paper (Section V-A) notes that identified loop-carried
+    dependences "serve as a hint to users, directing them to set the HLS
+    DEPENDENCE pragma".  This pass automates the hint: for every
+    pipelined loop, any array that is both read and written in the
+    region but provably carries *no* RAW dependence at the pipelined
+    level gets an ``inter false`` declaration -- exactly the annotation
+    a conservative HLS scheduler needs to reach the analyzed II.
+    """
+
+    name = "insert-dependence-pragmas"
+
+    def run(self, func: FuncOp) -> bool:
+        from repro.depgraph.analysis import carried_dependences_generic
+        from repro.isl.sets import BasicSet
+        from repro.hls.estimator import _collect_pipeline_region, _freeze_outer, _loads_of
+
+        changed = False
+        for loop in func.loops():
+            if "pipeline" not in loop.attributes:
+                continue
+            inner_loops, stores = _collect_pipeline_region(loop)
+            trips = {loop.iterator: loop.max_trip_count({}) or 1}
+            for inner in inner_loops:
+                trips[inner.iterator] = max(
+                    inner.max_trip_count(trips) or 1, trips.get(inner.iterator, 1)
+                )
+            hints = list(loop.attributes.get("dependence", []))
+            for store, enclosing in stores:
+                dims = [loop.iterator] + [l.iterator for l in enclosing]
+                loads = [
+                    l for l in _loads_of(store.value)
+                    if l.array.name == store.array.name
+                ]
+                if not loads:
+                    continue
+                bounds = {d: (0, max(0, trips.get(d, 1) - 1)) for d in dims}
+                domain = BasicSet.box(bounds, order=dims)
+                pairs = [
+                    (
+                        "RAW",
+                        store.array.name,
+                        [_freeze_outer(e, dims) for e in store.indices],
+                        [_freeze_outer(e, dims) for e in load.indices],
+                    )
+                    for load in loads
+                ]
+                extents = {d: max(1, trips.get(d, 1)) for d in dims}
+                deps = carried_dependences_generic(dims, domain, pairs, extents)
+                if any(dep.level == 0 for dep in deps):
+                    continue  # a real carried dependence: no false hint
+                hint = f"variable={store.array.name} inter false"
+                if hint not in hints:
+                    hints.append(hint)
+                    changed = True
+            if hints:
+                loop.attributes["dependence"] = hints
+        return changed
+
+
+def default_pipeline() -> PassManager:
+    """The canonicalization pipeline run before code generation."""
+    return PassManager([
+        FoldConstantGuards(),
+        PromoteTripOneLoops(),
+        DropEmptyLoops(),
+        DropDeadAnnotations(),
+    ])
+
+
+def canonicalize(func: FuncOp) -> FuncOp:
+    """Run the default pipeline to a fixed point and verify; returns func."""
+    default_pipeline().run(func, to_fixed_point=True)
+    VerifyStructure().run(func)
+    return func

@@ -1,0 +1,136 @@
+"""MLIR-like textual printer for the affine dialect.
+
+Produces a human-readable rendering used for debugging, golden tests,
+and the documentation examples.  The syntax is intentionally close to
+MLIR's affine dialect with HLS attributes rendered in trailing
+dictionaries, e.g.::
+
+    affine.for %j0 = 0 to 8 {pipeline = 1} {
+      affine.store %v, %A[%i0 * 4 + %i1, ...]
+    }
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.isl.affine import AffineExpr
+from repro.isl.sets import LoopBound
+from repro.affine.ir import (
+    AffineForOp,
+    AffineIfOp,
+    AffineLoadOp,
+    AffineStoreOp,
+    ArithOp,
+    Block,
+    CallOp,
+    CastOp,
+    ConstantOp,
+    FuncOp,
+    IndexOp,
+    Op,
+    ValueOp,
+)
+
+_ARITH_NAMES = {"+": "arith.addf", "-": "arith.subf", "*": "arith.mulf",
+                "/": "arith.divf", "%": "arith.remf"}
+
+
+def print_func(func: FuncOp) -> str:
+    """Render a FuncOp in MLIR-like text."""
+    args = ", ".join(
+        f"%{a.name}: memref<{'x'.join(map(str, a.shape))}x{a.dtype}>"
+        for a in func.arrays
+    )
+    lines = [f"func.func @{func.name}({args}) {{"]
+    partitions = func.attributes.get("partitions", {})
+    for name, scheme in sorted(partitions.items()):
+        factors = ", ".join(map(str, scheme.factors))
+        lines.append(f"  // array_partition %{name} {scheme.kind} [{factors}]")
+    _print_block(func.body, lines, indent=1)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _attrs(op: Op) -> str:
+    shown = {k: v for k, v in op.attributes.items() if k != "statement"}
+    if not shown:
+        return ""
+    body = ", ".join(f"{k} = {v}" for k, v in sorted(shown.items()))
+    return f" {{{body}}}"
+
+
+def _bound(bounds: List[LoopBound], is_lower: bool) -> str:
+    rendered = [_bound_one(b) for b in bounds]
+    if len(rendered) == 1:
+        return rendered[0]
+    combiner = "max" if is_lower else "min"
+    return f"{combiner}({', '.join(rendered)})"
+
+
+def _bound_one(bound: LoopBound) -> str:
+    body = _expr(bound.expr)
+    if bound.divisor == 1:
+        return body
+    func = "ceildiv" if bound.is_lower else "floordiv"
+    return f"({body}) {func} {bound.divisor}"
+
+
+def _expr(expr: AffineExpr) -> str:
+    parts = []
+    for name in sorted(expr.coeffs):
+        coeff = expr.coeffs[name]
+        if coeff == 1:
+            parts.append(f"%{name}")
+        else:
+            parts.append(f"%{name} * {coeff}")
+    if expr.constant or not parts:
+        parts.append(str(expr.constant))
+    return " + ".join(parts)
+
+
+def _print_block(block: Block, lines: List[str], indent: int) -> None:
+    pad = "  " * indent
+    for op in block:
+        if isinstance(op, AffineForOp):
+            lo = _bound(op.lowers, is_lower=True)
+            hi = _bound(op.uppers, is_lower=False)
+            lines.append(
+                f"{pad}affine.for %{op.iterator} = {lo} to {hi} + 1{_attrs(op)} {{"
+            )
+            _print_block(op.body, lines, indent + 1)
+            lines.append(f"{pad}}}")
+        elif isinstance(op, AffineIfOp):
+            conds = " and ".join(
+                f"{_expr(c.expr)} {'==' if c.is_equality() else '>='} 0"
+                for c in op.conditions
+            )
+            lines.append(f"{pad}affine.if ({conds}) {{")
+            _print_block(op.body, lines, indent + 1)
+            lines.append(f"{pad}}}")
+        elif isinstance(op, AffineStoreOp):
+            indices = ", ".join(_expr(i) for i in op.indices)
+            value = _value(op.value)
+            lines.append(
+                f"{pad}affine.store {value}, %{op.array.name}[{indices}]{_attrs(op)}"
+            )
+        else:
+            raise TypeError(f"cannot print op {op!r}")
+
+
+def _value(op: ValueOp) -> str:
+    if isinstance(op, ConstantOp):
+        return str(op.value)
+    if isinstance(op, IndexOp):
+        return f"affine.apply({_expr(op.expr)})"
+    if isinstance(op, AffineLoadOp):
+        indices = ", ".join(_expr(i) for i in op.indices)
+        return f"affine.load %{op.array.name}[{indices}]"
+    if isinstance(op, ArithOp):
+        return f"{_ARITH_NAMES[op.kind]}({_value(op.lhs)}, {_value(op.rhs)})"
+    if isinstance(op, CallOp):
+        args = ", ".join(_value(a) for a in op.operands)
+        return f"math.{op.func}({args})"
+    if isinstance(op, CastOp):
+        return f"arith.cast<{op.dtype}>({_value(op.operand)})"
+    raise TypeError(f"cannot print value {op!r}")

@@ -1,0 +1,11 @@
+"""Comparator frameworks reimplemented as optimization strategies.
+
+Every baseline transforms a function through the same scheduling
+directives and is costed by the same virtual HLS model, so relative
+results isolate *strategy* differences exactly as the paper's
+evaluation does.
+"""
+
+from repro.baselines import manual, pluto, polsca, scalehls
+
+__all__ = ["pluto", "polsca", "scalehls", "manual"]

@@ -1,0 +1,54 @@
+"""Pluto-style baseline: CPU-oriented polyhedral scheduling.
+
+Pluto's objective is locality and outer-loop parallelism for multi-core
+CPUs: parallel dimensions are tiled (and would be OpenMP-parallelized),
+while reduction dimensions sit innermost so the accumulator stays in a
+register.  It emits no HLS pragmas, so on an FPGA the generated
+schedule executes sequentially -- the paper's Fig. 2 observation that
+Pluto's strategy "is not suitable for FPGA accelerators".
+"""
+
+from __future__ import annotations
+
+from repro.depgraph.analysis import analyze_compute
+from repro.dsl.function import Function
+
+TILE = 32
+
+
+def locality_order(compute) -> list:
+    """Pluto's preferred order: parallel dims outer, reductions innermost."""
+    reductions = analyze_compute(compute).reduction_dims
+    parallel = [d for d in compute.iter_names if d not in reductions]
+    return parallel + reductions
+
+
+def apply_order(compute, order) -> None:
+    """Emit interchanges reaching ``order`` from the declared order."""
+    current = list(compute.iter_names)
+    for position, want in enumerate(order):
+        at = current.index(want)
+        if at != position:
+            compute.interchange(current[position], want)
+            current[position], current[at] = current[at], current[position]
+
+
+def optimize(function: Function) -> Function:
+    """Apply Pluto-style scheduling (no hardware optimizations)."""
+    for compute in function.computes:
+        order = locality_order(compute)
+        apply_order(compute, order)
+        extents = {it.name: it.extent for it in compute.iters}
+        reductions = set(analyze_compute(compute).reduction_dims)
+        parallel = [d for d in order if d not in reductions]
+        if len(parallel) >= 2:
+            outer, inner = parallel[0], parallel[1]
+            if (
+                extents[outer] > TILE and extents[inner] > TILE
+                and extents[outer] % TILE == 0 and extents[inner] % TILE == 0
+            ):
+                compute.tile(
+                    outer, inner, TILE, TILE,
+                    f"{outer}_T", f"{inner}_T", f"{outer}_t", f"{inner}_t",
+                )
+    return function

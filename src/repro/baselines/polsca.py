@@ -1,0 +1,56 @@
+"""POLSCA-style baseline: Pluto transformations + HLS pragmas.
+
+POLSCA drives Pluto to emit code consumable by HLS tools, then adds
+loop pipelining and unrolling -- but (per the paper's Section VII-B)
+it keeps Pluto's CPU-oriented schedule, leaves loop-carried dependences
+in place, and "does not properly partition arrays" at large problem
+sizes.  Pipelining Pluto's innermost loop -- a reduction whenever one
+exists -- carries the recurrence through every unrolled copy, which
+reproduces POLSCA's signature result: single-digit speedups, very large
+achieved IIs, and tiny resource usage (the starved pipeline timeshares
+its operators).
+"""
+
+from __future__ import annotations
+
+from repro.baselines import pluto
+from repro.depgraph.analysis import analyze_compute
+from repro.dsl.function import Function
+
+UNROLL = 16
+
+
+def optimize(function: Function) -> Function:
+    """Pluto scheduling, then innermost pipeline + unroll, no partitioning."""
+    innermost_of = {}
+    for compute in function.computes:
+        innermost_of[compute.name] = pluto.locality_order(compute)[-1]
+    pluto.optimize(function)
+    for compute in function.computes:
+        innermost = innermost_of[compute.name]
+        # Pluto's tiling renames tiled dims; reductions are never tiled,
+        # so the innermost survives unless the nest had no reduction.
+        reductions = analyze_compute(compute).reduction_dims
+        if not reductions:
+            tiled_inner = f"{innermost}_t"
+            tiled = any(
+                getattr(d, "i1", None) == tiled_inner or getattr(d, "j1", None) == tiled_inner
+                for d in function.schedule.for_compute(compute.name)
+            )
+            if tiled:
+                innermost = tiled_inner
+
+        extent = next(
+            (it.extent for it in compute.iters if it.name == innermost.split("_")[0]),
+            compute.iters[-1].extent,
+        )
+        if innermost.endswith("_t"):
+            extent = min(extent, pluto.TILE)
+        factor = min(UNROLL, extent)
+        if factor >= 2 and extent % factor == 0:
+            compute.split(innermost, factor, f"{innermost}_p", f"{innermost}_uu")
+            compute.pipeline(f"{innermost}_p", 1)
+            compute.unroll(f"{innermost}_uu", 0)
+        else:
+            compute.pipeline(innermost, 1)
+    return function

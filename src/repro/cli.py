@@ -1,0 +1,173 @@
+"""Command-line interface: compile workloads and regenerate experiments.
+
+Usage examples::
+
+    python -m repro list
+    python -m repro compile gemm --size 256 --dse --emit c
+    python -m repro compile bicg --size 1024 --dse --emit report
+    python -m repro compile seidel --emit mlir
+    python -m repro experiment table3 --size 4096
+    python -m repro experiment all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional
+
+from repro.workloads import ALL_SUITES
+
+
+def _workload_registry() -> Dict[str, Callable]:
+    registry: Dict[str, Callable] = {}
+    for suite in ALL_SUITES.values():
+        registry.update(suite)
+    return registry
+
+
+def _build_workload(name: str, size: Optional[int]):
+    registry = _workload_registry()
+    if name not in registry:
+        known = ", ".join(sorted(registry))
+        raise SystemExit(f"unknown workload {name!r}; available: {known}")
+    factory = registry[name]
+    return factory(size) if size is not None else factory()
+
+
+def cmd_list(args) -> int:
+    for suite_name, suite in ALL_SUITES.items():
+        print(f"{suite_name}:")
+        for name in suite:
+            print(f"  {name}")
+    return 0
+
+
+def cmd_compile(args) -> int:
+    function = _build_workload(args.workload, args.size)
+
+    if args.load_schedule:
+        from repro.dsl.serialize import load_schedule
+
+        load_schedule(function, args.load_schedule)
+        print(f"// schedule loaded from {args.load_schedule}", file=sys.stderr)
+
+    if args.dse:
+        result = function.auto_DSE(resource_fraction=args.resource_fraction)
+        print(
+            f"// auto-DSE: {result.evaluations} evaluations in "
+            f"{result.dse_time_s:.2f}s, tiles {result.tile_vectors()}",
+            file=sys.stderr,
+        )
+
+    if args.save_schedule:
+        from repro.dsl.serialize import save_schedule
+
+        save_schedule(function, args.save_schedule)
+        print(f"// schedule saved to {args.save_schedule}", file=sys.stderr)
+
+    emit = args.emit
+    if emit in ("c", "all"):
+        print(function.codegen())
+    if emit in ("mlir", "all"):
+        from repro.affine import print_func
+
+        print(print_func(function.lower()))
+    if emit in ("report", "all"):
+        report = function.estimate()
+        print(report.summary())
+        for loop in report.loops:
+            print("  ", loop)
+    if emit == "testbench":
+        from repro.hlsgen.testbench import generate_testbench
+
+        print(generate_testbench(function))
+    if args.cosim:
+        from repro.hlsgen.testbench import cosimulate
+
+        result = cosimulate(function)
+        status = "MATCH" if result.matched else f"MISMATCH {result.mismatches()}"
+        print(f"// co-simulation: {status}", file=sys.stderr)
+        return 0 if result.matched else 1
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    from repro.evaluation import ALL_EXPERIMENTS
+
+    if args.name == "all":
+        names = list(ALL_EXPERIMENTS)
+    elif args.name in ALL_EXPERIMENTS:
+        names = [args.name]
+    else:
+        known = ", ".join(sorted(ALL_EXPERIMENTS))
+        raise SystemExit(f"unknown experiment {args.name!r}; available: {known}, all")
+
+    for name in names:
+        module = ALL_EXPERIMENTS[name]
+        try:
+            if args.size is not None:
+                module.main(args.size)
+            else:
+                module.main()
+        except TypeError:
+            module.main()
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="POM reproduction: compile workloads to FPGA accelerators "
+                    "and regenerate the paper's evaluation.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available workloads").set_defaults(func=cmd_list)
+
+    compile_p = sub.add_parser("compile", help="compile one workload")
+    compile_p.add_argument("workload", help="workload name (see `list`)")
+    compile_p.add_argument("--size", type=int, default=None, help="problem size")
+    compile_p.add_argument("--dse", action="store_true", help="run auto-DSE first")
+    compile_p.add_argument(
+        "--resource-fraction", type=float, default=1.0,
+        help="fraction of the device budget available to the DSE",
+    )
+    compile_p.add_argument(
+        "--emit", choices=("c", "mlir", "report", "testbench", "all"), default="c",
+        help="what to print (default: HLS C)",
+    )
+    compile_p.add_argument(
+        "--cosim", action="store_true",
+        help="compile + run the C testbench and compare with the model",
+    )
+    compile_p.add_argument(
+        "--save-schedule", metavar="PATH", default=None,
+        help="write the (possibly DSE-found) schedule as JSON",
+    )
+    compile_p.add_argument(
+        "--load-schedule", metavar="PATH", default=None,
+        help="apply a previously saved JSON schedule instead of searching",
+    )
+    compile_p.set_defaults(func=cmd_compile)
+
+    experiment_p = sub.add_parser("experiment", help="regenerate a table/figure")
+    experiment_p.add_argument("name", help="experiment id (e.g. table3) or 'all'")
+    experiment_p.add_argument("--size", type=int, default=None)
+    experiment_p.set_defaults(func=cmd_experiment)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

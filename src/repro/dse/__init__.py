@@ -1,0 +1,28 @@
+"""Two-stage design space exploration (paper Section VI).
+
+Stage 1 (dependence-aware code transformation) relieves tight
+loop-carried dependences with interchange/skew/split and plans
+conservative fusion; stage 2 (bottleneck-oriented code optimization)
+walks the parallelism ladder on the critical path under resource
+constraints using the virtual HLS estimator as its cost model.
+"""
+
+from repro.dse.engine import DseResult, auto_dse
+from repro.dse.stage1 import Stage1Plan, plan_stage1
+from repro.dse.stage2 import (
+    NodeConfig,
+    config_directives,
+    derive_partitions,
+    plan_node_config,
+)
+
+__all__ = [
+    "auto_dse",
+    "DseResult",
+    "plan_stage1",
+    "Stage1Plan",
+    "NodeConfig",
+    "plan_node_config",
+    "config_directives",
+    "derive_partitions",
+]

@@ -1,0 +1,90 @@
+"""Dependence re-analysis on transformed polyhedral statements.
+
+Stage 1 of the DSE iteratively rechecks loop-carried dependences after
+each transformation (paper Section VI-A).  The original analyzer works
+on DSL computes; this helper runs the same integer-set engine on a
+:class:`~repro.polyir.statement.PolyStatement` whose domain, loop order,
+and accesses have already been rewritten.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.depgraph.analysis import CarriedDependence, carried_dependences_generic
+from repro.polyir.statement import PolyStatement
+
+
+def carried_for_statement(
+    stmt: PolyStatement, kinds: tuple = ("RAW",)
+) -> List[CarriedDependence]:
+    """Loop-carried dependences of a transformed statement.
+
+    ``kinds`` selects which dependence classes to compute: RAW bounds
+    pipelining; WAR/WAW additionally constrain loop reordering legality.
+    """
+    dims = list(stmt.loop_order)
+    domain = stmt.domain.project_onto(dims) if set(stmt.domain.dims) != set(dims) else stmt.domain
+    domain = domain.reorder_dims(dims)
+
+    store_idx = stmt.dest.affine_indices()
+    pairs = []
+    seen = set()
+    for load in stmt.body.loads():
+        if load.array_name != stmt.dest.array_name:
+            continue
+        key = tuple(map(str, load.indices))
+        if key in seen:
+            continue
+        seen.add(key)
+        load_idx = load.affine_indices()
+        if "RAW" in kinds:
+            pairs.append(("RAW", stmt.dest.array_name, store_idx, load_idx))
+        if "WAR" in kinds:
+            pairs.append(("WAR", stmt.dest.array_name, load_idx, store_idx))
+    if "WAW" in kinds:
+        pairs.append(("WAW", stmt.dest.array_name, store_idx, store_idx))
+
+    extents: Dict[str, int] = {}
+    for dim in dims:
+        extents[dim] = stmt.loop_extent(dim) or 1
+    return carried_dependences_generic(dims, domain, pairs, extents)
+
+
+def legal_order(deps: List[CarriedDependence], order: List[str]) -> bool:
+    """Whether every dependence stays lexicographically positive.
+
+    Entries at a dependence's carried dim are known >= 1 even when not
+    constant; any other unknown entry is treated as possibly negative.
+    """
+    for dep in deps:
+        legal = False
+        for dim in order:
+            if dim not in dep.dims:
+                continue
+            entry = dep.distance[dim]
+            if entry is None:
+                if dim == dep.carried_dim:
+                    legal = True
+                break  # unknown sign: cannot rely on later dims
+            if entry > 0:
+                legal = True
+                break
+            if entry < 0:
+                break
+            # entry == 0: look at the next dim
+        if not legal:
+            return False
+    return True
+
+
+def free_dims(stmt: PolyStatement) -> List[str]:
+    """Loop dims of the statement carrying no RAW dependence."""
+    carried = {d.carried_dim for d in carried_for_statement(stmt)}
+    return [d for d in stmt.loop_order if d not in carried]
+
+
+def carried_dims(stmt: PolyStatement) -> List[str]:
+    """Loop dims carrying at least one RAW dependence, in loop order."""
+    carried = {d.carried_dim for d in carried_for_statement(stmt)}
+    return [d for d in stmt.loop_order if d in carried]

@@ -1,0 +1,263 @@
+"""The DSE engine: stage 1 + stage 2 + bottleneck search (Section VI).
+
+``auto_dse`` restructures the function's loops (stage 1), then walks the
+parallelism ladder node by node: the bottleneck node on the critical
+path of the dependence graph doubles its parallelism degree while the
+virtual-HLS estimate stays within the resource constraints; a node whose
+next step is infeasible (or maxed out) leaves the optimization list; the
+search ends when the list is empty.  The winning schedule is installed
+on the function.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.dsl.function import Function
+from repro.dsl.schedule import Schedule
+from repro.depgraph.graph import build_dependence_graph
+from repro.affine.ir import AffineStoreOp, FuncOp
+from repro.affine.lowering import lower_program
+from repro.hls.device import FPGADevice, XC7Z020
+from repro.hls.estimator import HlsEstimator
+from repro.hls.report import SynthesisReport
+from repro.polyir.program import PolyProgram
+from repro.dse.stage1 import Stage1Plan, plan_stage1
+from repro.dse.stage2 import (
+    NodeConfig,
+    config_directives,
+    derive_partitions,
+    plan_node_config,
+    stage1_program,
+)
+
+MAX_PARALLELISM = 256
+
+
+@dataclass
+class DseResult:
+    """The outcome of automatic design space exploration."""
+
+    function: Function
+    report: SynthesisReport
+    schedule: Schedule
+    plan: Stage1Plan
+    configs: Dict[str, NodeConfig]
+    dse_time_s: float
+    evaluations: int
+
+    def tile_vector(self, node: str) -> List[int]:
+        """Paper-style achieved tile sizes for one node."""
+        return self.configs[node].tile_vector(self.plan.orders[node])
+
+    def tile_vectors(self) -> Dict[str, List[int]]:
+        return {name: self.tile_vector(name) for name in self.configs}
+
+    @property
+    def parallelism(self) -> float:
+        """Product of tile sizes divided by achieved II (paper metric)."""
+        total = 1
+        for config in self.configs.values():
+            total = max(total, config.total_parallelism)
+        ii = self.report.worst_ii() or 1
+        return total / ii
+
+    @property
+    def speedup_vs(self):
+        raise AttributeError("use repro.hls.report.speedup(baseline, self.report)")
+
+
+def auto_dse(
+    function: Function,
+    device: Optional[FPGADevice] = None,
+    resource_fraction: float = 1.0,
+    clock_ns: float = 10.0,
+    max_parallelism: int = MAX_PARALLELISM,
+    keep_existing_schedule: bool = False,
+) -> DseResult:
+    """Run the two-stage DSE and install the best schedule found."""
+    start = time.perf_counter()
+    device = device or XC7Z020
+    budget = device.scaled(resource_fraction) if resource_fraction < 1.0 else device
+    estimator = HlsEstimator(device=device, clock_ns=clock_ns)
+
+    structural = function.structural_directives()
+    if not keep_existing_schedule:
+        function.reset_schedule()
+        for directive in structural:
+            function.schedule.add(directive)
+    saved_partitions = {p.name: p.partition_scheme for p in function.placeholders()}
+
+    graph = build_dependence_graph(function, analyze=False)
+    plan = plan_stage1(function, graph)
+    program = stage1_program(function, plan)
+
+    nodes = [c.name for c in function.computes]
+    parallelism = {name: 1 for name in nodes}
+    evaluations = 0
+
+    def evaluate(par: Dict[str, int], bank_cap: int = 128) -> Tuple[SynthesisReport, Dict[str, NodeConfig], FuncOp]:
+        nonlocal evaluations
+        evaluations += 1
+        configs = {
+            name: plan_node_config(function, plan, name, par[name], program=program)
+            for name in nodes
+        }
+        _install(function, plan, configs, saved_partitions, bank_cap, structural)
+        func_op = lower_program(PolyProgram(function).apply_schedule())
+        return estimator.estimate(func_op), configs, func_op
+
+    report, configs, func_op = evaluate(parallelism)
+    best = (report, configs, dict(parallelism), 128)
+
+    # Fused statements share one pipeline, so they step together: the
+    # optimization unit is the fusion group of the bottleneck node.
+    group_of = {name: [name] for name in nodes}
+    for group in plan.fused_groups:
+        for member in group:
+            group_of[member] = group
+
+    active = set(nodes)
+    while active:
+        latencies = _node_latencies(func_op, estimator)
+        bottleneck = _pick_bottleneck(graph, latencies, active)
+        if bottleneck is None:
+            break
+        members = group_of[bottleneck]
+        trial = dict(parallelism)
+        exhausted = False
+        for member in members:
+            trial[member] = parallelism[member] * 2
+            if trial[member] > _max_parallelism(function, member, max_parallelism):
+                exhausted = True
+        if exhausted:
+            active.difference_update(members)
+            continue
+        # Factor quantization (even-divisor preference, legality) can make
+        # a doubled degree produce the exact same configs; that is a no-op
+        # step, not a dead end -- keep climbing the ladder.
+        trial_plan = {
+            member: plan_node_config(function, plan, member, trial[member], program=program)
+            for member in members
+        }
+        if all(
+            trial_plan[member].unrolls == configs[member].unrolls
+            and trial_plan[member].pipeline_dim == configs[member].pipeline_dim
+            for member in members
+        ):
+            parallelism = trial
+            continue
+        accepted = False
+        # Full banking first; if the spatial design overflows, trade
+        # banks for operator sharing (a larger II lets copies timeshare
+        # units -- the paper's BICG [1,32] / II=2 design point).
+        for bank_cap in (128, 16, 8):
+            trial_report, trial_configs, trial_func = evaluate(trial, bank_cap)
+            if _within_budget(trial_report, budget) and trial_report.total_cycles < best[0].total_cycles:
+                parallelism = trial
+                best = (trial_report, trial_configs, dict(parallelism), bank_cap)
+                report, configs, func_op = trial_report, trial_configs, trial_func
+                accepted = True
+                break
+        if not accepted:
+            active.difference_update(members)
+
+    # Reinstall the best schedule (the last trial may have been rejected).
+    report, configs, best_cap = best[0], best[1], best[3]
+    _install(function, plan, configs, saved_partitions, best_cap, structural)
+    func_op = lower_program(PolyProgram(function).apply_schedule())
+    report = estimator.estimate(func_op)
+
+    elapsed = time.perf_counter() - start
+    return DseResult(
+        function=function,
+        report=report,
+        schedule=function.schedule.copy(),
+        plan=plan,
+        configs=configs,
+        dse_time_s=elapsed,
+        evaluations=evaluations,
+    )
+
+
+def _install(
+    function: Function,
+    plan: Stage1Plan,
+    configs,
+    saved_partitions,
+    bank_cap: int = 128,
+    structural=(),
+) -> None:
+    """Install a trial schedule and derived partitions on the function.
+
+    Structural after/fuse directives (algorithm-level loop sharing) are
+    re-added first so they keep their meaning under the new schedule.
+    """
+    function.reset_schedule()
+    for directive in structural:
+        function.schedule.add(directive)
+    for directive in config_directives(function, plan, configs):
+        function.schedule.add(directive)
+    for placeholder in function.placeholders():
+        placeholder.partition_scheme = saved_partitions.get(placeholder.name)
+    for name, factors in derive_partitions(function, max_banks=bank_cap).items():
+        if any(f > 1 for f in factors):
+            placeholder = next(
+                p for p in function.placeholders() if p.name == name
+            )
+            placeholder.partition(list(factors), "cyclic")
+
+
+def _within_budget(report: SynthesisReport, budget: FPGADevice) -> bool:
+    return (
+        report.resources.dsp <= budget.dsp
+        and report.resources.lut <= budget.lut
+        and report.resources.ff <= budget.ff
+    )
+
+
+def _node_latencies(func_op: FuncOp, estimator: HlsEstimator) -> Dict[str, int]:
+    """Latency attributed to each compute via its top-level loop nest."""
+    latencies: Dict[str, int] = {}
+    for op in func_op.body:
+        shell = FuncOp(func_op.name, func_op.arrays)
+        shell.attributes.update(func_op.attributes)
+        shell.body.append(op)
+        cycles = estimator.estimate(shell).total_cycles
+        names = {
+            inner.attributes.get("statement")
+            for inner in op.walk()
+            if isinstance(inner, AffineStoreOp)
+        }
+        for name in names:
+            if name:
+                latencies[name] = latencies.get(name, 0) + cycles
+    return latencies
+
+
+def _pick_bottleneck(graph, latencies: Dict[str, int], active) -> Optional[str]:
+    """The highest-latency active node on the critical data path."""
+    paths = graph.data_paths()
+    ordered_paths = sorted(
+        paths,
+        key=lambda p: sum(latencies.get(n, 0) for n in p),
+        reverse=True,
+    )
+    for path in ordered_paths:
+        candidates = [n for n in path if n in active]
+        if candidates:
+            return max(candidates, key=lambda n: latencies.get(n, 0))
+    remaining = [n for n in active]
+    if remaining:
+        return max(remaining, key=lambda n: latencies.get(n, 0))
+    return None
+
+
+def _max_parallelism(function: Function, node: str, cap: int) -> int:
+    compute = function.get_compute(node)
+    total = 1
+    for it in compute.iters:
+        total *= it.extent
+    return min(cap, total)

@@ -1,0 +1,291 @@
+"""DSE stage 2: bottleneck-oriented code optimization (paper Section VI-B).
+
+Stage 1 leaves every node with a loop order whose innermost free dim can
+be pipelined.  Stage 2 explores parallelism: for a given *parallelism
+degree* it splits loops into unrolled intra-tile parts (the paper's tile
+sizes, e.g. ``[1, 32]``), pipelines the best free dim, completely
+unrolls the intra-tile loops, and cyclically partitions arrays so the
+unrolled copies hit distinct memory banks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.dsl.function import Function
+from repro.dsl.schedule import (
+    After,
+    Directive,
+    Interchange,
+    Pipeline,
+    Split,
+    Unroll,
+)
+from repro.polyir.program import PolyProgram
+from repro.dse.analysis import carried_for_statement, legal_order
+from repro.dse.stage1 import Stage1Plan
+
+MAX_FACTOR_PER_DIM = 64
+
+
+@dataclass
+class NodeConfig:
+    """Stage 2 configuration of one node at a given parallelism degree."""
+
+    name: str
+    pipeline_dim: str
+    # (dim, factor) pairs innermost-first; factor == extent means the whole
+    # dim is unrolled without splitting.
+    unrolls: List[Tuple[str, int]] = field(default_factory=list)
+
+    @property
+    def total_parallelism(self) -> int:
+        total = 1
+        for _, factor in self.unrolls:
+            total *= factor
+        return total
+
+    def tile_vector(self, order: List[str]) -> List[int]:
+        """The paper-style tile-size vector over the stage-1 loop order."""
+        factors = dict(self.unrolls)
+        return [factors.get(dim, 1) for dim in order]
+
+
+def stage1_program(function: Function, plan: Stage1Plan) -> PolyProgram:
+    """The polyhedral program with stage-1 restructuring replayed."""
+    program = PolyProgram(function)
+    for directive in plan.directives:
+        program.apply_directive(directive)
+    return program
+
+
+def plan_node_config(
+    function: Function,
+    plan: Stage1Plan,
+    node: str,
+    parallelism: int,
+    program: Optional[PolyProgram] = None,
+) -> NodeConfig:
+    """Distribute a parallelism degree over a node's loops.
+
+    The pipeline dim is the free dim with the largest extent (pipelining
+    the longest dependence-free loop amortizes fill/drain best); the
+    remaining dims absorb unroll factors innermost-first, each capped by
+    its extent and :data:`MAX_FACTOR_PER_DIM`.
+    """
+    if program is None:
+        program = stage1_program(function, plan)
+    order = list(plan.orders[node])
+    extents = _node_extents(program, node, order)
+    deps = plan.deps_cache.get(node)
+    if deps is None:
+        deps = carried_for_statement(program.statement(node), kinds=("RAW", "WAR", "WAW"))
+        plan.deps_cache[node] = deps
+    prefix = plan.frozen.get(node, 0)
+    movable = order[prefix:]
+
+    free = [d for d in plan.free.get(node, []) if d in movable]
+    if free:
+        pipeline_dim = max(free, key=lambda d: extents.get(d, 1))
+    else:
+        pipeline_dim = order[-1]
+    if not legal_order(deps, _candidate_order(order, pipeline_dim, [])):
+        pipeline_dim = order[-1]
+
+    config = NodeConfig(name=node, pipeline_dim=pipeline_dim)
+    remaining = max(1, parallelism)
+    moved: List[str] = []
+
+    # Parallelism preference order: dependence-free dims first (their
+    # unrolled copies are truly parallel), then a split of the pipeline
+    # dim itself, and only then carried dims (whose copies form serial
+    # chains -- useful for reductions, useless for stencil wavefronts).
+    free_candidates = [d for d in reversed(movable) if d in free and d != pipeline_dim]
+    carried_candidates = [d for d in reversed(movable) if d not in free and d != pipeline_dim]
+
+    def try_unroll(dim: str, cap: int) -> None:
+        nonlocal remaining
+        if remaining <= 1:
+            return
+        extent = extents.get(dim, 1)
+        factor = min(remaining, cap, MAX_FACTOR_PER_DIM)
+        # Prefer even tiles, but accept a ragged split (guards handle the
+        # remainder) rather than giving up on prime-ish extents.
+        even = factor
+        while even > 1 and extent % even:
+            even -= 1
+        if even >= max(2, factor // 2):
+            factor = even
+        if factor <= 1:
+            return
+        # Unrolled parts move innermost; reject dims whose move would
+        # flip a dependence (e.g. a stencil's time loop).
+        if dim != pipeline_dim:
+            candidate = _candidate_order(order, pipeline_dim, [dim] + moved)
+            if not legal_order(deps, candidate):
+                return
+            moved.insert(0, dim)
+        config.unrolls.append((dim, factor))
+        remaining //= factor
+
+    for dim in free_candidates:
+        try_unroll(dim, extents.get(dim, 1))
+    if pipeline_dim in free:
+        try_unroll(pipeline_dim, extents.get(pipeline_dim, 1) // 2)
+    for dim in carried_candidates:
+        try_unroll(dim, extents.get(dim, 1))
+
+    config.unrolls.reverse()  # report outermost-first like the paper
+    return config
+
+
+def _candidate_order(order: List[str], pipeline_dim: str, moved: List[str]) -> List[str]:
+    """The execution order a config produces (unsplit approximation)."""
+    sequential = [d for d in order if d != pipeline_dim and d not in moved]
+    return sequential + [pipeline_dim] + moved
+
+
+def _node_extents(program: PolyProgram, node: str, order: List[str]) -> Dict[str, int]:
+    """Constant extent envelope per (possibly transformed) loop dim."""
+    stmt = program.statement(node)
+    extents: Dict[str, int] = {}
+    for dim in order:
+        extents[dim] = stmt.loop_extent(dim) or 1
+    return extents
+
+
+def config_directives(
+    function: Function,
+    plan: Stage1Plan,
+    configs: Dict[str, NodeConfig],
+) -> List[Directive]:
+    """Full directive list: stage-1 restructuring + stage-2 parallelism."""
+    directives: List[Directive] = list(plan.directives)
+    pipeline_levels: Dict[str, str] = {}
+    final_orders: Dict[str, List[str]] = {}
+    final_extents: Dict[str, Dict[str, int]] = {}
+    base_program = stage1_program(function, plan)
+
+    for node, config in configs.items():
+        order = list(plan.orders[node])
+        unrolled_parts: List[str] = []
+        extents = _node_extents(base_program, node, order)
+        pipeline_level = config.pipeline_dim
+
+        for dim, factor in config.unrolls:
+            if dim != config.pipeline_dim and factor >= extents.get(dim, 1):
+                # whole dim unrolled: no split needed
+                unrolled_parts.append(dim)
+            else:
+                outer, inner = f"{dim}_t", f"{dim}_u"
+                directives.append(Split(node, dim, factor, outer, inner))
+                order[order.index(dim)] = outer
+                extent = extents.pop(dim)
+                extents[outer] = -(-extent // factor)
+                extents[inner] = factor
+                unrolled_parts.append(inner)
+                if dim == config.pipeline_dim:
+                    # the tile loop carries the pipeline; the chunk unrolls
+                    pipeline_level = outer
+
+        sequential = [d for d in order if d not in unrolled_parts and d != pipeline_level]
+        target = sequential + [pipeline_level] + unrolled_parts
+        current = _simulate_order(order, unrolled_parts, pipeline_level)
+        directives.extend(_reorder(node, current, target))
+
+        directives.append(Pipeline(node, pipeline_level, 1))
+        for part in unrolled_parts:
+            directives.append(Unroll(node, part, 0))
+        pipeline_levels[node] = pipeline_level
+        final_orders[node] = target
+        final_extents[node] = extents
+
+    directives.extend(
+        _fusion_directives(plan, configs, pipeline_levels, final_orders, final_extents)
+    )
+    return directives
+
+
+def _simulate_order(order_after_splits: List[str], unrolled: List[str], pipeline_dim: str) -> List[str]:
+    """Loop order right after the split directives (splits insert inner
+    parts immediately after their outer part)."""
+    result: List[str] = []
+    for dim in order_after_splits:
+        result.append(dim)
+        if dim.endswith("_t") and dim[:-2] + "_u" in unrolled:
+            result.append(dim[:-2] + "_u")
+    return result
+
+
+def _reorder(node: str, current: List[str], target: List[str]) -> List[Directive]:
+    """Interchange directives converting ``current`` order into ``target``."""
+    order = list(current)
+    moves: List[Directive] = []
+    if set(order) != set(target):
+        raise ValueError(f"{node}: cannot reorder {order} into {target}")
+    for position, want in enumerate(target):
+        at = order.index(want)
+        if at != position:
+            moves.append(Interchange(node, order[position], want))
+            order[position], order[at] = order[at], order[position]
+    return moves
+
+
+def _fusion_directives(
+    plan: Stage1Plan,
+    configs: Dict[str, NodeConfig],
+    pipeline_levels: Dict[str, str],
+    final_orders: Dict[str, List[str]],
+    final_extents: Dict[str, Dict[str, int]],
+) -> List[Directive]:
+    """Fuse group members at the pipeline level when their shapes match.
+
+    Fusion requires the pipeline dim at the same nesting level in both
+    members *and* matching trip counts at every shared level -- fusing
+    envelopes of different sizes would stall the pipeline with guards.
+    """
+    directives: List[Directive] = []
+    for group in plan.fused_groups:
+        members = [m for m in group if m in configs]
+        for previous, current in zip(members, members[1:]):
+            prev_order = final_orders[previous]
+            cur_order = final_orders[current]
+            prev_level = prev_order.index(pipeline_levels[previous])
+            cur_level = cur_order.index(pipeline_levels[current])
+            if prev_level != cur_level:
+                continue  # incompatible nesting; leave sequential
+            prev_trips = [final_extents[previous].get(d) for d in prev_order[: prev_level + 1]]
+            cur_trips = [final_extents[current].get(d) for d in cur_order[: cur_level + 1]]
+            if prev_trips != cur_trips:
+                continue
+            directives.append(After(current, previous, pipeline_levels[previous], structural=False))
+    return directives
+
+
+def derive_partitions(function: Function, max_banks: int = 128) -> Dict[str, Tuple[int, ...]]:
+    """Cyclic partition factors making unrolled copies hit distinct banks.
+
+    Replays the function's current schedule, finds every completely
+    unrolled loop dim, and for each array dimension takes the product of
+    the extents of unrolled dims appearing in its index expression.
+    """
+    program = PolyProgram(function).apply_schedule()
+    factors: Dict[str, List[int]] = {}
+    for stmt in program.statements:
+        unrolled = {
+            opt.level: stmt.loop_extent(opt.level) or 1
+            for opt in stmt.hw_opts
+            if opt.kind == "unroll"
+        }
+        for access in stmt.accesses():
+            array = access.placeholder
+            slots = factors.setdefault(array.name, [1] * len(array.shape))
+            for dim, index in enumerate(access.affine_indices()):
+                spread = 1
+                for name in index.dims():
+                    if name in unrolled:
+                        spread *= max(1, unrolled[name])
+                spread = min(spread, array.shape[dim], max_banks)
+                slots[dim] = max(slots[dim], spread)
+    return {name: tuple(values) for name, values in factors.items()}

@@ -1,0 +1,68 @@
+"""The POM DSL: declarative computation + decoupled scheduling.
+
+The public surface mirrors the paper's programming model (Section IV):
+``var`` declares iterators, ``placeholder`` declares arrays, ``compute``
+declares a nested loop in one line, and scheduling primitives
+(Table II) customize the generated accelerator without touching the
+algorithm.
+"""
+
+from repro.dsl import dtypes
+from repro.dsl.compute import Compute, compute
+from repro.dsl.dtypes import (
+    FixedType,
+    fixed,
+    float32,
+    float64,
+    int8,
+    int16,
+    int32,
+    int64,
+    p_float32,
+    p_float64,
+    p_int8,
+    p_int16,
+    p_int32,
+    p_int64,
+    uint8,
+    uint16,
+    uint32,
+    uint64,
+)
+from repro.dsl.expr import Access, Call, Cast, Const, Expr, IterRef, maximum, minimum
+from repro.dsl.function import Function, current_function
+from repro.dsl.placeholder import PartitionScheme, Placeholder, placeholder
+from repro.dsl.schedule import (
+    After,
+    Directive,
+    Fuse,
+    Interchange,
+    Pipeline,
+    Reverse,
+    Schedule,
+    Shift,
+    Skew,
+    Split,
+    Tile,
+    Unroll,
+)
+from repro.dsl.serialize import load_schedule, save_schedule, schedule_from_dict, schedule_to_dict
+from repro.dsl.var import Var, var
+
+__all__ = [
+    "dtypes",
+    "Compute", "compute",
+    "Function", "current_function",
+    "Placeholder", "placeholder", "PartitionScheme",
+    "Var", "var",
+    "Expr", "Access", "Call", "Cast", "Const", "IterRef", "minimum", "maximum",
+    "Schedule", "Directive", "Interchange", "Split", "Tile", "Skew",
+    "After", "Fuse", "Pipeline", "Unroll", "Reverse", "Shift",
+    "fixed", "FixedType",
+    "save_schedule", "load_schedule", "schedule_to_dict", "schedule_from_dict",
+    "int8", "int16", "int32", "int64",
+    "uint8", "uint16", "uint32", "uint64",
+    "float32", "float64",
+    "p_int8", "p_int16", "p_int32", "p_int64",
+    "p_float32", "p_float64",
+]

@@ -1,0 +1,205 @@
+"""The ``compute`` operation: POM's algorithm-specification atom.
+
+A compute describes one nested loop in a single declaration (paper
+Fig. 4): an iteration domain (the ordered iterator list), a statement
+expression, and a destination access.  Scheduling-primitive methods on
+the object record directives into the owning function's schedule --
+they never restructure the algorithm itself.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.dsl.expr import Access, Expr, wrap
+from repro.dsl.placeholder import Placeholder
+from repro.dsl.schedule import (
+    After,
+    Fuse,
+    Interchange,
+    Pipeline,
+    Reverse,
+    Shift,
+    Skew,
+    Split,
+    Tile,
+    Unroll,
+)
+from repro.dsl.var import Var
+
+
+def _name_of(level) -> str:
+    """Accept a Var or a plain string for loop-level arguments."""
+    if isinstance(level, Var):
+        return level.name
+    if isinstance(level, str):
+        return level
+    raise TypeError(f"expected an iterator or its name, got {level!r}")
+
+
+class Compute:
+    """One nested loop: iterators, statement expression, destination."""
+
+    def __init__(self, name: str, iters: Sequence[Var], expr, dest: Access, function=None):
+        from repro.dsl.function import current_function
+
+        if not name or not name.isidentifier():
+            raise ValueError(f"invalid compute name {name!r}")
+        iters = list(iters)
+        if not iters:
+            raise ValueError(f"compute {name!r} needs at least one iterator")
+        names = [it.name for it in iters]
+        if len(set(names)) != len(names):
+            raise ValueError(f"compute {name!r} has duplicate iterators {names}")
+        for it in iters:
+            if not isinstance(it, Var) or not it.has_range:
+                raise TypeError(
+                    f"compute {name!r}: iterator {it!r} must be a ranged var"
+                )
+        if not isinstance(dest, Access):
+            raise TypeError(f"compute {name!r}: destination must be an array access")
+        self.name = name
+        self.iters: List[Var] = iters
+        self.expr: Expr = wrap(expr)
+        self.dest: Access = dest
+        used = set(self.expr.iter_names()) | set(dest.iter_names())
+        unknown = used - set(names)
+        if unknown:
+            raise ValueError(
+                f"compute {name!r} references undeclared iterators {sorted(unknown)}"
+            )
+        self.function = function if function is not None else current_function()
+        if self.function is not None:
+            self.function.register_compute(self)
+
+    # -- structural queries ------------------------------------------------
+
+    @property
+    def iter_names(self) -> List[str]:
+        return [it.name for it in self.iters]
+
+    def loads(self) -> List[Access]:
+        """All array reads of the statement (including a read-modify dest)."""
+        return self.expr.loads()
+
+    def store(self) -> Access:
+        return self.dest
+
+    def arrays(self) -> List[Placeholder]:
+        """All placeholders touched, stores first, in first-seen order."""
+        seen: Dict[str, Placeholder] = {self.dest.placeholder.name: self.dest.placeholder}
+        for access in self.loads():
+            seen.setdefault(access.placeholder.name, access.placeholder)
+        return list(seen.values())
+
+    def domain_bounds(self) -> Dict[str, tuple]:
+        """Inclusive iterator bounds ``{name: (lo, hi)}``."""
+        return {it.name: (it.lo, it.hi - 1) for it in self.iters}
+
+    # -- scheduling primitives (Table II) -------------------------------------
+
+    def _schedule(self):
+        if self.function is None:
+            raise RuntimeError(
+                f"compute {self.name!r} has no owning function; "
+                "create it inside a Function context to use scheduling primitives"
+            )
+        return self.function.schedule
+
+    def interchange(self, i, j) -> "Compute":
+        """Interchange loop levels ``i`` and ``j``."""
+        self._schedule().add(Interchange(self.name, _name_of(i), _name_of(j)))
+        return self
+
+    def split(self, i, factor: int, i0, i1) -> "Compute":
+        """Split loop ``i`` by ``factor`` into ``(i0, i1)``."""
+        self._schedule().add(
+            Split(self.name, _name_of(i), int(factor), _name_of(i0), _name_of(i1))
+        )
+        return self
+
+    def tile(self, i, j, ti: int, tj: int, i0, j0, i1, j1) -> "Compute":
+        """Tile loops ``(i, j)`` by ``(ti, tj)`` into ``(i0, j0, i1, j1)``."""
+        self._schedule().add(
+            Tile(
+                self.name, _name_of(i), _name_of(j), int(ti), int(tj),
+                _name_of(i0), _name_of(j0), _name_of(i1), _name_of(j1),
+            )
+        )
+        return self
+
+    def skew(self, i, j, factor: int, ip, jp) -> "Compute":
+        """Skew loop ``j`` by ``factor * i`` into new levels ``(ip, jp)``."""
+        self._schedule().add(
+            Skew(self.name, _name_of(i), _name_of(j), int(factor), _name_of(ip), _name_of(jp))
+        )
+        return self
+
+    def reverse(self, i, i_new) -> "Compute":
+        """Reverse the iteration direction of loop ``i``."""
+        self._schedule().add(Reverse(self.name, _name_of(i), _name_of(i_new)))
+        return self
+
+    def shift(self, i, offset: int, i_new) -> "Compute":
+        """Translate loop ``i`` by a constant ``offset``."""
+        self._schedule().add(Shift(self.name, _name_of(i), int(offset), _name_of(i_new)))
+        return self
+
+    def after(self, other: "Compute", level=None) -> "Compute":
+        """Execute this compute after ``other`` at loop ``level``."""
+        self._schedule().add(
+            After(self.name, other.name, None if level is None else _name_of(level))
+        )
+        return self
+
+    def fuse(self, other: "Compute", level) -> "Compute":
+        """Fuse loops with ``other`` down to ``level`` inclusive."""
+        self._schedule().add(Fuse(self.name, other.name, _name_of(level)))
+        return self
+
+    def pipeline(self, level, ii: int = 1) -> "Compute":
+        """Pipeline the loop at ``level`` with target initiation interval."""
+        self._schedule().add(Pipeline(self.name, _name_of(level), int(ii)))
+        return self
+
+    def unroll(self, level, factor: int = 0) -> "Compute":
+        """Unroll the loop at ``level`` (factor 0 = complete)."""
+        self._schedule().add(Unroll(self.name, _name_of(level), int(factor)))
+        return self
+
+    # -- reference semantics ----------------------------------------------------
+
+    def reference_execute(self, arrays: Mapping[str, np.ndarray]) -> None:
+        """Run the statement over the declared domain, in declaration order.
+
+        This defines the *algorithm semantics* against which every
+        transformation is checked: destination elements are assigned in
+        the sequential order of the original nest, which yields the usual
+        accumulate behaviour when the destination is also read.
+        """
+        self._execute_level(0, {}, arrays)
+
+    def _execute_level(self, depth: int, env: Dict[str, int], arrays) -> None:
+        if depth == len(self.iters):
+            value = self.expr.evaluate(env, arrays)
+            point = tuple(int(i.evaluate(env, arrays)) for i in self.dest.indices)
+            arrays[self.dest.array_name][point] = value
+            return
+        it = self.iters[depth]
+        for value in range(it.lo, it.hi):
+            env[it.name] = value
+            self._execute_level(depth + 1, env, arrays)
+        del env[it.name]
+
+    def __repr__(self):
+        return (
+            f"compute({self.name!r}, [{', '.join(self.iter_names)}], "
+            f"{self.expr!r}, {self.dest!r})"
+        )
+
+
+def compute(name: str, iters: Sequence[Var], expr, dest: Access) -> Compute:
+    """Declare a compute inside the current function (paper spelling)."""
+    return Compute(name, iters, expr, dest)

@@ -1,0 +1,291 @@
+"""Expression AST for the POM DSL.
+
+Expressions combine loop iterators, constants, placeholder accesses,
+arithmetic operators, and a small library of intrinsic calls.  The same
+AST serves three roles: it is *analyzed* (load/store extraction, affine
+access maps for the polyhedral layers), *lowered* (to the affine dialect
+and then HLS C), and *executed* (by the reference interpreter used as
+ground truth in tests).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.isl.affine import AffineExpr
+from repro.isl.maps import MultiAffineMap
+
+Scalar = Union[int, float]
+
+
+class Expr:
+    """Base class for DSL expressions (operator overloads build the AST)."""
+
+    def __add__(self, other):
+        return BinaryOp("+", self, wrap(other))
+
+    def __radd__(self, other):
+        return BinaryOp("+", wrap(other), self)
+
+    def __sub__(self, other):
+        return BinaryOp("-", self, wrap(other))
+
+    def __rsub__(self, other):
+        return BinaryOp("-", wrap(other), self)
+
+    def __mul__(self, other):
+        return BinaryOp("*", self, wrap(other))
+
+    def __rmul__(self, other):
+        return BinaryOp("*", wrap(other), self)
+
+    def __truediv__(self, other):
+        return BinaryOp("/", self, wrap(other))
+
+    def __rtruediv__(self, other):
+        return BinaryOp("/", wrap(other), self)
+
+    def __mod__(self, other):
+        return BinaryOp("%", self, wrap(other))
+
+    def __neg__(self):
+        return BinaryOp("-", Const(0), self)
+
+    def children(self) -> Sequence["Expr"]:
+        return ()
+
+    def walk(self) -> Iterator["Expr"]:
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def loads(self) -> List["Access"]:
+        """All placeholder accesses appearing in this expression."""
+        return [n for n in self.walk() if isinstance(n, Access)]
+
+    def iter_names(self) -> List[str]:
+        """Names of all loop iterators referenced, in first-seen order."""
+        seen: Dict[str, None] = {}
+        for node in self.walk():
+            if isinstance(node, IterRef):
+                seen.setdefault(node.name)
+        return list(seen)
+
+    def evaluate(self, env: Mapping[str, int], arrays: Mapping[str, "object"]) -> Scalar:
+        raise NotImplementedError
+
+    def substitute_iters(self, bindings: Mapping[str, "Expr"]) -> "Expr":
+        """Replace iterator references by expressions (for transformations)."""
+        raise NotImplementedError
+
+
+def wrap(value) -> Expr:
+    """Coerce a Python scalar (or pass through an Expr)."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, (int, float)):
+        return Const(value)
+    raise TypeError(f"cannot use {value!r} in a DSL expression")
+
+
+class Const(Expr):
+    """A literal scalar."""
+
+    def __init__(self, value: Scalar):
+        self.value = value
+
+    def evaluate(self, env, arrays):
+        return self.value
+
+    def substitute_iters(self, bindings):
+        return self
+
+    def __repr__(self):
+        return repr(self.value)
+
+
+class IterRef(Expr):
+    """A reference to a loop iterator by name."""
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def evaluate(self, env, arrays):
+        return env[self.name]
+
+    def substitute_iters(self, bindings):
+        return bindings.get(self.name, self)
+
+    def __repr__(self):
+        return self.name
+
+
+class BinaryOp(Expr):
+    """A binary arithmetic operation."""
+
+    OPS: Dict[str, Callable[[Scalar, Scalar], Scalar]] = {
+        "+": lambda a, b: a + b,
+        "-": lambda a, b: a - b,
+        "*": lambda a, b: a * b,
+        "/": lambda a, b: a / b if isinstance(a, float) or isinstance(b, float) else _int_div(a, b),
+        "%": lambda a, b: math.fmod(a, b) if isinstance(a, float) or isinstance(b, float) else _int_mod(a, b),
+    }
+
+    def __init__(self, op: str, lhs: Expr, rhs: Expr):
+        if op not in self.OPS:
+            raise ValueError(f"unsupported operator {op!r}")
+        self.op = op
+        self.lhs = lhs
+        self.rhs = rhs
+
+    def children(self):
+        return (self.lhs, self.rhs)
+
+    def evaluate(self, env, arrays):
+        return self.OPS[self.op](self.lhs.evaluate(env, arrays), self.rhs.evaluate(env, arrays))
+
+    def substitute_iters(self, bindings):
+        return BinaryOp(self.op, self.lhs.substitute_iters(bindings), self.rhs.substitute_iters(bindings))
+
+    def __repr__(self):
+        return f"({self.lhs} {self.op} {self.rhs})"
+
+
+def _int_div(a: int, b: int) -> int:
+    """C-style truncating integer division."""
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def _int_mod(a: int, b: int) -> int:
+    """C-style remainder (sign follows the dividend)."""
+    return a - _int_div(a, b) * b
+
+
+class Call(Expr):
+    """An intrinsic call: min/max/abs/sqrt/exp and friends."""
+
+    FUNCS: Dict[str, Callable[..., Scalar]] = {
+        "min": min,
+        "max": max,
+        "abs": abs,
+        "sqrt": math.sqrt,
+        "exp": math.exp,
+        "log": math.log,
+        "relu": lambda x: x if x > 0 else type(x)(0),
+    }
+
+    def __init__(self, func: str, args: Sequence[Expr]):
+        if func not in self.FUNCS:
+            raise ValueError(f"unsupported intrinsic {func!r}")
+        self.func = func
+        self.args = [wrap(a) for a in args]
+
+    def children(self):
+        return tuple(self.args)
+
+    def evaluate(self, env, arrays):
+        return self.FUNCS[self.func](*(a.evaluate(env, arrays) for a in self.args))
+
+    def substitute_iters(self, bindings):
+        return Call(self.func, [a.substitute_iters(bindings) for a in self.args])
+
+    def __repr__(self):
+        return f"{self.func}({', '.join(map(repr, self.args))})"
+
+
+class Cast(Expr):
+    """An explicit type conversion."""
+
+    def __init__(self, dtype, value: Expr):
+        self.dtype = dtype
+        self.value = wrap(value)
+
+    def children(self):
+        return (self.value,)
+
+    def evaluate(self, env, arrays):
+        raw = self.value.evaluate(env, arrays)
+        return float(raw) if self.dtype.is_float else int(raw)
+
+    def substitute_iters(self, bindings):
+        return Cast(self.dtype, self.value.substitute_iters(bindings))
+
+    def __repr__(self):
+        return f"({self.dtype}){self.value!r}"
+
+
+class Access(Expr):
+    """A read of ``placeholder[indices]`` (a write when used as dest)."""
+
+    def __init__(self, placeholder, indices: Sequence[Expr]):
+        from repro.dsl.placeholder import Placeholder  # cycle-breaking import
+
+        if not isinstance(placeholder, Placeholder):
+            raise TypeError(f"expected a placeholder, got {placeholder!r}")
+        if len(indices) != len(placeholder.shape):
+            raise ValueError(
+                f"{placeholder.name} has {len(placeholder.shape)} dims, "
+                f"got {len(indices)} indices"
+            )
+        self.placeholder = placeholder
+        self.indices = [wrap(i) for i in indices]
+
+    @property
+    def array_name(self) -> str:
+        return self.placeholder.name
+
+    def children(self):
+        return tuple(self.indices)
+
+    def evaluate(self, env, arrays):
+        point = tuple(int(i.evaluate(env, arrays)) for i in self.indices)
+        return arrays[self.array_name][point]
+
+    def substitute_iters(self, bindings):
+        return Access(self.placeholder, [i.substitute_iters(bindings) for i in self.indices])
+
+    def affine_indices(self) -> List[AffineExpr]:
+        """Indices as affine expressions over iterator names.
+
+        Raises :class:`ValueError` for non-affine index expressions.
+        """
+        return [to_affine(index) for index in self.indices]
+
+    def access_map(self, domain_dims: Sequence[str]) -> MultiAffineMap:
+        """The access as an affine map from the iteration space."""
+        return MultiAffineMap(domain_dims, self.affine_indices())
+
+    def __repr__(self):
+        return f"{self.array_name}[{', '.join(map(repr, self.indices))}]"
+
+
+def to_affine(expr: Expr) -> AffineExpr:
+    """Convert an index expression to an affine form (or raise ValueError)."""
+    if isinstance(expr, Const):
+        if not isinstance(expr.value, int):
+            raise ValueError(f"non-integer index constant {expr.value!r}")
+        return AffineExpr.const(expr.value)
+    if isinstance(expr, IterRef):
+        return AffineExpr.var(expr.name)
+    if isinstance(expr, BinaryOp):
+        if expr.op == "+":
+            return to_affine(expr.lhs) + to_affine(expr.rhs)
+        if expr.op == "-":
+            return to_affine(expr.lhs) - to_affine(expr.rhs)
+        if expr.op == "*":
+            lhs, rhs = expr.lhs, expr.rhs
+            if isinstance(lhs, Const) and isinstance(lhs.value, int):
+                return to_affine(rhs) * lhs.value
+            if isinstance(rhs, Const) and isinstance(rhs.value, int):
+                return to_affine(lhs) * rhs.value
+    raise ValueError(f"index expression {expr!r} is not affine")
+
+
+def minimum(*args) -> Call:
+    return Call("min", list(args))
+
+
+def maximum(*args) -> Call:
+    return Call("max", list(args))

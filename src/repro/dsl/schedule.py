@@ -1,0 +1,203 @@
+"""Scheduling directives recorded by the POM DSL primitives (Table II).
+
+Primitives called on :class:`~repro.dsl.compute.Compute` objects append
+directive records to the owning function's :class:`Schedule`.  The
+polyhedral IR layer replays them as set/map manipulations; the hardware
+primitives are carried through to the affine dialect as attributes.
+Keeping directives as plain data is what lets programmers "explore
+different schedule strategies ... without modifying the algorithm
+specification".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+class Directive:
+    """Base class for all scheduling directives."""
+
+    compute_name: str
+
+
+@dataclass
+class Interchange(Directive):
+    """Swap loop levels ``i`` and ``j`` of a compute."""
+
+    compute_name: str
+    i: str
+    j: str
+
+
+@dataclass
+class Split(Directive):
+    """Split loop ``i`` by ``factor`` into outer ``i0`` and inner ``i1``."""
+
+    compute_name: str
+    i: str
+    factor: int
+    i0: str
+    i1: str
+
+    def __post_init__(self):
+        if self.factor < 2:
+            raise ValueError(f"split factor must be >= 2, got {self.factor}")
+
+
+@dataclass
+class Tile(Directive):
+    """Tile loops ``(i, j)`` by ``(ti, tj)`` into ``(i0, j0, i1, j1)``."""
+
+    compute_name: str
+    i: str
+    j: str
+    ti: int
+    tj: int
+    i0: str
+    j0: str
+    i1: str
+    j1: str
+
+    def __post_init__(self):
+        if self.ti < 1 or self.tj < 1:
+            raise ValueError(f"tile factors must be >= 1, got ({self.ti}, {self.tj})")
+
+
+@dataclass
+class Skew(Directive):
+    """Skew loop ``j`` by ``factor * i``, producing ``(ip, jp)``.
+
+    The new iterators satisfy ``ip = i`` and ``jp = j + factor * i`` -- the
+    unimodular skew used to legalize wavefront pipelining of stencils.
+    """
+
+    compute_name: str
+    i: str
+    j: str
+    factor: int
+    ip: str
+    jp: str
+
+    def __post_init__(self):
+        if self.factor == 0:
+            raise ValueError("skew factor must be non-zero")
+
+
+@dataclass
+class Reverse(Directive):
+    """Reverse loop ``i`` of a compute, producing ``i_new``."""
+
+    compute_name: str
+    i: str
+    i_new: str
+
+
+@dataclass
+class Shift(Directive):
+    """Shift loop ``i`` by ``offset`` (iteration-space translation)."""
+
+    compute_name: str
+    i: str
+    offset: int
+    i_new: str
+
+    def __post_init__(self):
+        if self.offset == 0:
+            raise ValueError("shift offset must be non-zero")
+
+
+@dataclass
+class After(Directive):
+    """Order ``compute_name`` after ``other`` at loop ``level``.
+
+    ``level=None`` sequences the two computes at the outermost position
+    (no loop sharing); otherwise the two computes share all loop levels
+    from the outermost down to and including ``level``, and this compute
+    runs after the other inside that shared loop body.
+
+    ``structural`` marks user-written directives whose interleaving is
+    part of the algorithm's meaning (e.g. ping-pong stencil sweeps);
+    optimizer-emitted fusion directives set it False so the reference
+    executor and the DSE do not treat them as algorithm structure.
+    """
+
+    compute_name: str
+    other: str
+    level: Optional[str]
+    structural: bool = True
+
+
+@dataclass
+class Fuse(Directive):
+    """Fuse this compute's loops with ``other`` down to ``level`` (inclusive).
+
+    Equivalent to ``after`` but emphasizing loop sharing; the pair
+    executes in original creation order inside the fused body.
+    """
+
+    compute_name: str
+    other: str
+    level: str
+    structural: bool = True
+
+
+@dataclass
+class Pipeline(Directive):
+    """Pipeline the loop at ``level`` with target initiation interval ``ii``."""
+
+    compute_name: str
+    level: str
+    ii: int = 1
+
+    def __post_init__(self):
+        if self.ii < 1:
+            raise ValueError(f"target II must be >= 1, got {self.ii}")
+
+
+@dataclass
+class Unroll(Directive):
+    """Unroll the loop at ``level`` by ``factor`` (0 = complete unroll)."""
+
+    compute_name: str
+    level: str
+    factor: int = 0
+
+    def __post_init__(self):
+        if self.factor < 0:
+            raise ValueError(f"unroll factor must be >= 0, got {self.factor}")
+
+
+LOOP_TRANSFORMS = (Interchange, Split, Tile, Skew, Reverse, Shift, After, Fuse)
+HARDWARE_OPTS = (Pipeline, Unroll)
+
+
+@dataclass
+class Schedule:
+    """The ordered list of directives attached to a function."""
+
+    directives: List[Directive] = field(default_factory=list)
+
+    def add(self, directive: Directive) -> None:
+        self.directives.append(directive)
+
+    def loop_transforms(self) -> List[Directive]:
+        return [d for d in self.directives if isinstance(d, LOOP_TRANSFORMS)]
+
+    def hardware_opts(self) -> List[Directive]:
+        return [d for d in self.directives if isinstance(d, HARDWARE_OPTS)]
+
+    def for_compute(self, name: str) -> List[Directive]:
+        return [d for d in self.directives if d.compute_name == name]
+
+    def clear(self) -> None:
+        self.directives.clear()
+
+    def copy(self) -> "Schedule":
+        return Schedule(list(self.directives))
+
+    def __len__(self) -> int:
+        return len(self.directives)
+
+    def __iter__(self):
+        return iter(self.directives)

@@ -1,0 +1,114 @@
+"""Schedule serialization: save and re-apply scheduling decisions.
+
+A schedule (the full directive list plus array partition schemes) is
+plain data, so a DSE result can be exported as JSON and re-applied to a
+freshly built function -- e.g. search once on a build server, then
+compile with the frozen schedule, or check schedules into version
+control next to the algorithm.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import fields
+from typing import Any, Dict, List, Type
+
+from repro.dsl.function import Function
+from repro.dsl.schedule import (
+    After,
+    Directive,
+    Fuse,
+    Interchange,
+    Pipeline,
+    Reverse,
+    Schedule,
+    Shift,
+    Skew,
+    Split,
+    Tile,
+    Unroll,
+)
+
+_DIRECTIVE_TYPES: Dict[str, Type[Directive]] = {
+    cls.__name__: cls
+    for cls in (Interchange, Split, Tile, Skew, Reverse, Shift, After, Fuse,
+                Pipeline, Unroll)
+}
+
+
+class ScheduleFormatError(ValueError):
+    """The serialized schedule is malformed or references unknown names."""
+
+
+def schedule_to_dict(function: Function) -> Dict[str, Any]:
+    """The function's schedule and partitions as a JSON-able dictionary."""
+    directives: List[Dict[str, Any]] = []
+    for directive in function.schedule:
+        record = {"kind": type(directive).__name__}
+        for field in fields(directive):
+            record[field.name] = getattr(directive, field.name)
+        directives.append(record)
+    partitions = {}
+    for placeholder in function.placeholders():
+        scheme = placeholder.partition_scheme
+        if scheme is not None:
+            partitions[placeholder.name] = {
+                "factors": list(scheme.factors),
+                "kind": scheme.kind,
+            }
+    return {
+        "function": function.name,
+        "directives": directives,
+        "partitions": partitions,
+    }
+
+
+def schedule_from_dict(function: Function, data: Dict[str, Any]) -> Function:
+    """Re-apply a serialized schedule to a freshly built function.
+
+    The target function must declare the computes and arrays the
+    schedule references; the existing schedule is replaced.
+    """
+    if not isinstance(data, dict) or "directives" not in data:
+        raise ScheduleFormatError("missing 'directives' key")
+    compute_names = {c.name for c in function.computes}
+    array_names = {p.name for p in function.placeholders()}
+
+    new_schedule = Schedule()
+    for record in data["directives"]:
+        record = dict(record)
+        kind = record.pop("kind", None)
+        if kind not in _DIRECTIVE_TYPES:
+            raise ScheduleFormatError(f"unknown directive kind {kind!r}")
+        cls = _DIRECTIVE_TYPES[kind]
+        try:
+            directive = cls(**record)
+        except TypeError as exc:
+            raise ScheduleFormatError(f"bad fields for {kind}: {exc}") from exc
+        if directive.compute_name not in compute_names:
+            raise ScheduleFormatError(
+                f"directive targets unknown compute {directive.compute_name!r}"
+            )
+        new_schedule.add(directive)
+
+    for name, scheme in data.get("partitions", {}).items():
+        if name not in array_names:
+            raise ScheduleFormatError(f"partition targets unknown array {name!r}")
+        target = next(p for p in function.placeholders() if p.name == name)
+        target.partition(list(scheme["factors"]), scheme["kind"])
+
+    function.schedule = new_schedule
+    return function
+
+
+def save_schedule(function: Function, path: str) -> None:
+    """Write the function's schedule as JSON."""
+    with open(path, "w") as handle:
+        json.dump(schedule_to_dict(function), handle, indent=2)
+
+
+def load_schedule(function: Function, path: str) -> Function:
+    """Read a JSON schedule and apply it to the function."""
+    with open(path) as handle:
+        data = json.load(handle)
+    return schedule_from_dict(function, data)

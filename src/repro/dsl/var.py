@@ -1,0 +1,48 @@
+"""Loop iterator declarations (``var`` in the POM DSL).
+
+``var("i", 0, 32)`` declares an iterator ranging over ``[0, 32)``,
+matching the paper's Fig. 4.  Iterators produced by transformations
+(e.g. the ``i0, i1`` of a split) are declared without a range; their
+extents are derived by the transformation itself.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dsl.expr import IterRef
+
+
+class Var(IterRef):
+    """A named loop iterator, optionally with a half-open range."""
+
+    def __init__(self, name: str, lo: Optional[int] = None, hi: Optional[int] = None):
+        if not name or not name.isidentifier():
+            raise ValueError(f"invalid iterator name {name!r}")
+        if (lo is None) != (hi is None):
+            raise ValueError("specify both bounds or neither")
+        if lo is not None and hi is not None and hi <= lo:
+            raise ValueError(f"empty range [{lo}, {hi}) for iterator {name!r}")
+        super().__init__(name)
+        self.lo = lo
+        self.hi = hi
+
+    @property
+    def has_range(self) -> bool:
+        return self.lo is not None
+
+    @property
+    def extent(self) -> int:
+        if not self.has_range:
+            raise ValueError(f"iterator {self.name!r} has no declared range")
+        return self.hi - self.lo
+
+    def __repr__(self):
+        if self.has_range:
+            return f"var({self.name!r}, {self.lo}, {self.hi})"
+        return f"var({self.name!r})"
+
+
+def var(name: str, lo: Optional[int] = None, hi: Optional[int] = None) -> Var:
+    """Declare a loop iterator (paper spelling: ``var i("i", 0, 32)``)."""
+    return Var(name, lo, hi)

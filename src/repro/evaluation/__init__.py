@@ -1,0 +1,37 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Each module exposes ``run(...)`` returning structured results,
+``render(results)`` producing the paper-style ASCII table, and
+``main()`` for command-line use (``python -m repro.evaluation.table3``).
+"""
+
+from repro.evaluation import (
+    fig2,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+)
+from repro.evaluation.frameworks import RunResult, format_table, run_framework
+
+ALL_EXPERIMENTS = {
+    "fig2": fig2,
+    "table3": table3,
+    "fig11": fig11,
+    "table4": table4,
+    "fig12": fig12,
+    "table5": table5,
+    "table6": table6,
+    "fig13": fig13,
+    "table7": table7,
+    "fig14": fig14,
+    "fig15": fig15,
+}
+
+__all__ = ["ALL_EXPERIMENTS", "RunResult", "run_framework", "format_table"]

@@ -1,0 +1,56 @@
+"""Figure 12: scalability across problem sizes (32 .. 8192).
+
+POM vs ScaleHLS speedups on the five polybench kernels as the problem
+size grows.  The paper's shape: both scale until ~2048; at 4096/8192
+ScaleHLS degrades (imbalanced DSE, infeasible partitioning) while POM
+keeps generating high-quality designs; at very small sizes POM may be
+slightly behind (it deprioritizes cheap loops).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.evaluation.frameworks import RunResult, format_table, run_framework
+from repro.workloads import polybench
+
+SIZES = (32, 128, 512, 2048, 4096, 8192)
+BENCHMARKS = ("gemm", "bicg", "gesummv", "2mm", "3mm")
+
+
+def run(
+    sizes: Sequence[int] = SIZES, benchmarks: Sequence[str] = BENCHMARKS
+) -> Dict[str, Dict[int, Dict[str, RunResult]]]:
+    results: Dict[str, Dict[int, Dict[str, RunResult]]] = {}
+    for benchmark in benchmarks:
+        factory = polybench.SUITE[benchmark]
+        results[benchmark] = {}
+        for size in sizes:
+            results[benchmark][size] = {
+                framework: run_framework(framework, factory, size)
+                for framework in ("scalehls", "pom")
+            }
+    return results
+
+
+def render(results) -> str:
+    headers = ["Benchmark", "Size", "ScaleHLS", "POM", "POM/ScaleHLS"]
+    rows: List[List[str]] = []
+    for benchmark, by_size in results.items():
+        for size, by_framework in by_size.items():
+            sh = by_framework["scalehls"].speedup
+            pom = by_framework["pom"].speedup
+            rows.append([
+                benchmark, str(size), f"{sh:.1f}x", f"{pom:.1f}x", f"{pom / sh:.2f}",
+            ])
+    return format_table(headers, rows, title="Fig. 12: scalability across problem sizes")
+
+
+def main(sizes: Sequence[int] = SIZES) -> str:
+    text = render(run(sizes))
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,121 @@
+"""Figure 13: accumulated resource usage for DNN workloads.
+
+Per-critical-loop accumulated DSP/LUT series for VGG-16 and ResNet-18
+under POM (layers executed in sequence, operators reused, so the
+accumulated curve is flat) and ScaleHLS (pipelined dataflow with
+private per-layer hardware, so the curve climbs past the device budget).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.dse import auto_dse
+from repro.baselines import scalehls
+from repro.affine.ir import AffineStoreOp, FuncOp
+from repro.affine.lowering import lower_program
+from repro.hls.device import XC7Z020
+from repro.hls.estimator import HlsEstimator
+from repro.polyir.program import PolyProgram
+from repro.evaluation.frameworks import format_table
+from repro.workloads import dnn
+
+DEFAULT_SIZE = 32
+DEFAULT_SCALE = 0.25
+
+
+@dataclass
+class AccumulatedSeries:
+    """Accumulated resources after each critical loop, in layer order."""
+
+    framework: str
+    network: str
+    loops: List[str]
+    dsp: List[int]
+    lut: List[int]
+    feasible: bool
+
+
+def _per_loop_resources(func_op: FuncOp, estimator: HlsEstimator) -> Dict[str, tuple]:
+    """(dsp, lut) of each top-level nest, keyed by contained statement."""
+    per_loop: Dict[str, tuple] = {}
+    for op in func_op.body:
+        shell = FuncOp(func_op.name, func_op.arrays)
+        shell.attributes.update(func_op.attributes)
+        shell.body.append(op)
+        report = estimator.estimate(shell)
+        for inner in op.walk():
+            if isinstance(inner, AffineStoreOp) and inner.statement_name():
+                per_loop[inner.statement_name()] = (
+                    report.resources.dsp, report.resources.lut
+                )
+    return per_loop
+
+
+def run_network(name: str, size: int = DEFAULT_SIZE, scale: float = DEFAULT_SCALE) -> List[AccumulatedSeries]:
+    factory = dnn.SUITE[name]
+    series = []
+
+    # POM: sequential layers, shared operators -> accumulated = running max.
+    f_pom = factory(size=size, channel_scale=scale)
+    result = auto_dse(f_pom)
+    estimator = HlsEstimator()
+    func_op = lower_program(PolyProgram(f_pom).apply_schedule())
+    per_loop = _per_loop_resources(func_op, estimator)
+    loops = [c for c in dnn.critical_loops(f_pom) if c in per_loop]
+    dsp_acc, lut_acc = [], []
+    running_dsp = running_lut = 0
+    for loop in loops:
+        running_dsp = max(running_dsp, per_loop[loop][0])
+        running_lut = max(running_lut, per_loop[loop][1])
+        dsp_acc.append(running_dsp)
+        lut_acc.append(running_lut)
+    series.append(AccumulatedSeries("pom", name, loops, dsp_acc, lut_acc, result.report.feasible()))
+
+    # ScaleHLS: dataflow, private hardware -> accumulated = running sum.
+    f_sh = factory(size=size, channel_scale=scale)
+    sh = scalehls.optimize(f_sh, dataflow=True)
+    func_op = lower_program(PolyProgram(f_sh).apply_schedule())
+    per_loop = _per_loop_resources(
+        func_op, HlsEstimator(dataflow=True, share_sequential=False)
+    )
+    loops = [c for c in dnn.critical_loops(f_sh) if c in per_loop]
+    dsp_acc, lut_acc = [], []
+    running_dsp = running_lut = 0
+    for loop in loops:
+        running_dsp += per_loop[loop][0]
+        running_lut += per_loop[loop][1]
+        dsp_acc.append(running_dsp)
+        lut_acc.append(running_lut)
+    series.append(AccumulatedSeries("scalehls", name, loops, dsp_acc, lut_acc, sh.report.feasible()))
+    return series
+
+
+def run(size: int = DEFAULT_SIZE, scale: float = DEFAULT_SCALE) -> List[AccumulatedSeries]:
+    results = []
+    for name in ("vgg16", "resnet18"):
+        results.extend(run_network(name, size, scale))
+    return results
+
+
+def render(results: List[AccumulatedSeries]) -> str:
+    headers = ["Network", "Framework", "Loop", "Accum. DSP", "Accum. LUT", "Device DSP"]
+    rows = []
+    for series in results:
+        for loop, dsp, lut in zip(series.loops, series.dsp, series.lut):
+            rows.append([
+                series.network, series.framework, loop,
+                str(dsp), str(lut), str(XC7Z020.dsp),
+            ])
+    return format_table(headers, rows, title="Fig. 13: accumulated DNN resource usage")
+
+
+def main() -> str:
+    text = render(run())
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Figure 2: the BICG motivating example.
+
+Latency and speedup of BICG under the baseline, Pluto, POLSCA,
+ScaleHLS, and POM -- the paper's Section II-D comparison, including the
+achieved initiation intervals that drive the schedule illustrations in
+Fig. 2(c)-(e).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.evaluation.frameworks import RunResult, format_table, run_framework
+from repro.workloads import polybench
+
+FRAMEWORKS = ("baseline", "pluto", "polsca", "scalehls", "pom")
+DEFAULT_SIZE = 4096
+
+
+def run(size: int = DEFAULT_SIZE) -> Dict[str, RunResult]:
+    return {
+        framework: run_framework(framework, polybench.bicg, size)
+        for framework in FRAMEWORKS
+    }
+
+
+def render(results: Dict[str, RunResult]) -> str:
+    headers = ["Framework", "Latency (cycles)", "Speedup", "Achieved II"]
+    rows = []
+    for framework, r in results.items():
+        rows.append([
+            framework,
+            str(r.report.total_cycles),
+            f"{r.speedup:.1f}x",
+            str(r.achieved_ii or "-"),
+        ])
+    return format_table(headers, rows, title=f"Fig. 2: BICG motivating example (size {next(iter(results.values())).size})")
+
+
+def main(size: int = DEFAULT_SIZE) -> str:
+    text = render(run(size))
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,143 @@
+"""Uniform framework runner for the evaluation harness.
+
+Every experiment compares strategies through one interface: build the
+workload, apply a framework's optimization, synthesize with the virtual
+HLS model, and report the paper's metrics (speedup over the unoptimized
+baseline, resource utilization, power, achieved II, tile sizes,
+parallelism degree, and DSE time).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.dsl.function import Function
+from repro.baselines import manual, pluto, polsca, scalehls
+from repro.dse import auto_dse
+from repro.hls.device import FPGADevice, XC7Z020
+from repro.hls.estimator import HlsEstimator
+from repro.hls.report import SynthesisReport
+from repro.pipeline import estimate, lower_to_affine
+
+FRAMEWORKS = ("baseline", "pluto", "polsca", "scalehls", "pom", "manual")
+
+
+@dataclass
+class RunResult:
+    """One framework x workload data point."""
+
+    framework: str
+    benchmark: str
+    size: int
+    report: SynthesisReport
+    baseline_cycles: int
+    dse_time_s: float = 0.0
+    tiles: Dict[str, List[int]] = field(default_factory=dict)
+
+    @property
+    def speedup(self) -> float:
+        return self.baseline_cycles / max(1, self.report.total_cycles)
+
+    @property
+    def achieved_ii(self) -> Optional[int]:
+        return self.report.worst_ii()
+
+    @property
+    def parallelism(self) -> float:
+        copies = 1
+        for vector in self.tiles.values():
+            node_copies = 1
+            for factor in vector:
+                node_copies *= factor
+            copies = max(copies, node_copies)
+        return copies / (self.achieved_ii or 1)
+
+
+def run_framework(
+    framework: str,
+    factory: Callable[..., Function],
+    size: int,
+    device: Optional[FPGADevice] = None,
+    resource_fraction: float = 1.0,
+    dataflow_scalehls: bool = False,
+    **factory_kwargs,
+) -> RunResult:
+    """Build, optimize with one framework, and synthesize a workload."""
+    if framework not in FRAMEWORKS:
+        raise ValueError(f"unknown framework {framework!r}")
+    device = device or XC7Z020
+
+    baseline_fn = _build(factory, size, baseline=True, **factory_kwargs)
+    baseline_cycles = estimate(baseline_fn, device=device).total_cycles
+
+    name = baseline_fn.name
+    if framework == "baseline":
+        return RunResult(framework, name, size, estimate(baseline_fn, device=device), baseline_cycles)
+
+    function = _build(
+        factory, size,
+        baseline=framework in ("pluto", "polsca", "scalehls", "manual"),
+        **factory_kwargs,
+    )
+    start = time.perf_counter()
+    if framework == "pluto":
+        pluto.optimize(function)
+        report = estimate(function, device=device)
+        tiles: Dict[str, List[int]] = {}
+        dse_time = time.perf_counter() - start
+    elif framework == "polsca":
+        polsca.optimize(function)
+        report = estimate(function, device=device)
+        tiles = {}
+        dse_time = time.perf_counter() - start
+    elif framework == "manual":
+        manual.optimize_bicg(function)
+        report = estimate(function, device=device)
+        tiles = {}
+        dse_time = time.perf_counter() - start
+    elif framework == "scalehls":
+        result = scalehls.optimize(
+            function, device=device, resource_fraction=resource_fraction,
+            dataflow=dataflow_scalehls,
+        )
+        report = result.report
+        tiles = {n: result.tile_vector(n) for n in result.orders}
+        dse_time = result.dse_time_s
+    else:  # pom
+        result = auto_dse(function, device=device, resource_fraction=resource_fraction)
+        report = result.report
+        tiles = result.tile_vectors()
+        dse_time = result.dse_time_s
+
+    return RunResult(framework, name, size, report, baseline_cycles, dse_time, tiles)
+
+
+def _build(factory, size, baseline: bool = False, **kwargs) -> Function:
+    try:
+        return factory(size, baseline=baseline, **kwargs)
+    except TypeError:
+        return factory(size, **kwargs)
+
+
+def format_table(headers: List[str], rows: List[List[str]], title: str = "") -> str:
+    """Render an aligned ASCII table (the harness's output format)."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(str(cell)))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def fmt_tiles(tiles: Dict[str, List[int]]) -> str:
+    if not tiles:
+        return "-"
+    return ", ".join(str(v) for v in tiles.values())

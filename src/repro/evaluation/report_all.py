@@ -1,0 +1,76 @@
+"""Regenerate the entire evaluation into one report file.
+
+``python -m repro.evaluation.report_all [--quick] [--output PATH]`` runs
+every experiment (paper-scale by default, reduced sizes with
+``--quick``) and writes a timestamped markdown/text report -- the
+mechanism used to refresh ``EXPERIMENTS.md`` after model changes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import sys
+import time
+from contextlib import redirect_stdout
+from typing import Dict, Optional
+
+from repro.evaluation import ALL_EXPERIMENTS
+
+QUICK_ARGS: Dict[str, dict] = {
+    "fig2": {"size": 256},
+    "table3": {"size": 256},
+    "table4": {"size": 256},
+    "fig11": {"size": 256},
+    "table6": {"size": 256},
+}
+
+
+def run_all(quick: bool = False, stream=None) -> str:
+    """Run every experiment; returns (and optionally streams) the report."""
+    out = io.StringIO()
+
+    def emit(text: str = "") -> None:
+        out.write(text + "\n")
+        if stream is not None:
+            print(text, file=stream, flush=True)
+
+    emit("# Evaluation report")
+    emit(f"mode: {'quick' if quick else 'paper-scale'}")
+    emit()
+    for name, module in ALL_EXPERIMENTS.items():
+        emit("## " + name)
+        start = time.perf_counter()
+        capture = io.StringIO()
+        try:
+            with redirect_stdout(capture):
+                kwargs = QUICK_ARGS.get(name, {}) if quick else {}
+                if kwargs:
+                    module.main(**kwargs)
+                else:
+                    module.main()
+            emit(capture.getvalue().rstrip())
+        except Exception as exc:  # keep the report going; record the failure
+            emit(capture.getvalue().rstrip())
+            emit(f"FAILED: {exc!r}")
+        emit(f"[{name}: {time.perf_counter() - start:.1f}s]")
+        emit()
+    return out.getvalue()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced sizes (minutes instead of ~10 min)")
+    parser.add_argument("--output", default=None, help="write the report here")
+    args = parser.parse_args(argv)
+    report = run_all(quick=args.quick, stream=None if args.output else sys.stdout)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(report)
+        print(f"report written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

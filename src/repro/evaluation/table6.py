@@ -1,0 +1,53 @@
+"""Table VI: optimization of critical loops in the image applications.
+
+Tile sizes, achieved II, and parallelism for the critical (longest)
+loop of EdgeDetect, Gaussian, and Blur under ScaleHLS and POM.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.evaluation.frameworks import RunResult, fmt_tiles, format_table, run_framework
+from repro.workloads import image
+
+DEFAULT_SIZE = 4096
+
+
+def run(size: int = DEFAULT_SIZE) -> Dict[str, Dict[str, RunResult]]:
+    return {
+        name: {
+            "scalehls": run_framework("scalehls", factory, size),
+            "pom": run_framework("pom", factory, size),
+        }
+        for name, factory in image.SUITE.items()
+    }
+
+
+def render(results: Dict[str, Dict[str, RunResult]]) -> str:
+    headers = [
+        "Benchmark",
+        "Tile sizes (ScaleHLS)", "Tile sizes (POM)",
+        "II (ScaleHLS)", "II (POM)",
+        "Parallelism (ScaleHLS)", "Parallelism (POM)",
+    ]
+    rows = []
+    for name, pair in results.items():
+        sh, pom = pair["scalehls"], pair["pom"]
+        rows.append([
+            name,
+            fmt_tiles(sh.tiles), fmt_tiles(pom.tiles),
+            str(sh.achieved_ii or "-"), str(pom.achieved_ii or "-"),
+            f"{sh.parallelism:.2f}", f"{pom.parallelism:.2f}",
+        ])
+    return format_table(headers, rows, title="Table VI: critical-loop optimization (image apps)")
+
+
+def main(size: int = DEFAULT_SIZE) -> str:
+    text = render(run(size))
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

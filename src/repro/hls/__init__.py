@@ -1,0 +1,25 @@
+"""Virtual HLS synthesis toolchain (substitute for Vitis HLS / Vivado).
+
+Provides the device model, operator characterization, the latency/II/
+resource estimator, the power model, report structures, and re-exports
+the affine-dialect functional interpreter as the simulation entry point.
+"""
+
+from repro.affine.interp import interpret as simulate
+from repro.hls.device import DEFAULT_CLOCK_NS, XC7Z020, FPGADevice
+from repro.hls.estimator import HlsEstimator
+from repro.hls.power import estimate_power
+from repro.hls.report import LoopReport, Resources, SynthesisReport, speedup
+
+__all__ = [
+    "FPGADevice",
+    "XC7Z020",
+    "DEFAULT_CLOCK_NS",
+    "HlsEstimator",
+    "SynthesisReport",
+    "LoopReport",
+    "Resources",
+    "speedup",
+    "estimate_power",
+    "simulate",
+]

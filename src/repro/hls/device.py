@@ -1,0 +1,50 @@
+"""FPGA device models for the virtual HLS toolchain.
+
+The paper targets a Xilinx XC7Z020 (220 DSP slices, 53,200 LUTs,
+106,400 FFs, 4.9 Mb of block RAM) at a 100 MHz / 10 ns clock.  The
+device model carries those budgets and supports fractional resource
+constraints for the Fig. 11 sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class FPGADevice:
+    """An FPGA resource budget."""
+
+    name: str
+    dsp: int
+    lut: int
+    ff: int
+    bram_bits: int
+    bram_ports_per_bank: int = 2
+
+    def scaled(self, fraction: float) -> "FPGADevice":
+        """The same device with every budget scaled by ``fraction``.
+
+        Used to vary resource constraints as in the paper's Fig. 11.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        return replace(
+            self,
+            name=f"{self.name}@{fraction:.0%}",
+            dsp=int(self.dsp * fraction),
+            lut=int(self.lut * fraction),
+            ff=int(self.ff * fraction),
+            bram_bits=int(self.bram_bits * fraction),
+        )
+
+
+XC7Z020 = FPGADevice(
+    name="xc7z020",
+    dsp=220,
+    lut=53_200,
+    ff=106_400,
+    bram_bits=int(4.9 * 1024 * 1024),
+)
+
+DEFAULT_CLOCK_NS = 10.0  # the paper's 100 MHz target

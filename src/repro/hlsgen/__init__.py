@@ -1,0 +1,6 @@
+"""HLS C backend: annotated affine dialect -> synthesizable HLS C."""
+
+from repro.hlsgen.codegen import generate_hls_c
+from repro.hlsgen.testbench import CosimResult, cosimulate, generate_testbench
+
+__all__ = ["generate_hls_c", "generate_testbench", "cosimulate", "CosimResult"]

@@ -1,0 +1,186 @@
+"""HLS C code generation from the annotated affine dialect.
+
+The backend of POM: translates the optimized affine dialect into
+synthesizable HLS C, turning attribute-carried optimization info into
+``#pragma HLS`` directives (pipeline, unroll, array_partition) exactly
+as in paper Fig. 6.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.dsl.placeholder import Placeholder
+from repro.isl.affine import AffineExpr
+from repro.isl.sets import LoopBound
+from repro.affine.ir import (
+    AffineForOp,
+    AffineIfOp,
+    AffineLoadOp,
+    AffineStoreOp,
+    ArithOp,
+    Block,
+    CallOp,
+    CastOp,
+    ConstantOp,
+    FuncOp,
+    IndexOp,
+    ValueOp,
+)
+
+_CALL_SPELLING = {
+    "min": "fmin",
+    "max": "fmax",
+    "abs": "fabs",
+    "sqrt": "sqrtf",
+    "exp": "expf",
+    "log": "logf",
+}
+
+
+def generate_hls_c(func: FuncOp) -> str:
+    """Emit a complete synthesizable HLS C function."""
+    lines: List[str] = [
+        "#include <math.h>",
+        "#include <stdint.h>",
+        "",
+        "#define pom_min(a, b) ((a) < (b) ? (a) : (b))",
+        "#define pom_max(a, b) ((a) > (b) ? (a) : (b))",
+        "",
+    ]
+    args = ", ".join(_array_decl(a) for a in func.arrays)
+    lines.append(f"void {func.name}({args}) {{")
+    for pragma in _partition_pragmas(func):
+        lines.append(pragma)
+    _emit_block(func.body, lines, indent=1)
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def _array_decl(array: Placeholder) -> str:
+    dims = "".join(f"[{extent}]" for extent in array.shape)
+    return f"{array.dtype.c_name} {array.name}{dims}"
+
+
+def _partition_pragmas(func: FuncOp) -> List[str]:
+    pragmas = []
+    partitions = func.attributes.get("partitions", {})
+    for name in sorted(partitions):
+        scheme = partitions[name]
+        for dim, factor in enumerate(scheme.factors, start=1):
+            if factor <= 1:
+                continue
+            if scheme.kind == "complete":
+                pragmas.append(
+                    f"#pragma HLS array_partition variable={name} complete dim={dim}"
+                )
+            else:
+                pragmas.append(
+                    f"#pragma HLS array_partition variable={name} "
+                    f"{scheme.kind} factor={factor} dim={dim}"
+                )
+    return pragmas
+
+
+def _emit_block(block: Block, lines: List[str], indent: int) -> None:
+    pad = "  " * indent
+    for op in block:
+        if isinstance(op, AffineForOp):
+            lo = _bounds_expr(op.lowers, is_lower=True)
+            hi = _bounds_expr(op.uppers, is_lower=False)
+            lines.append(
+                f"{pad}for (int {op.iterator} = {lo}; {op.iterator} <= {hi}; "
+                f"++{op.iterator}) {{"
+            )
+            if "pipeline" in op.attributes:
+                lines.append(f"{pad}#pragma HLS pipeline II={op.attributes['pipeline']}")
+            if "unroll" in op.attributes:
+                factor = op.attributes["unroll"]
+                if factor == 0:
+                    lines.append(f"{pad}#pragma HLS unroll")
+                else:
+                    lines.append(f"{pad}#pragma HLS unroll factor={factor}")
+            if "dependence" in op.attributes:
+                for hint in op.attributes["dependence"]:
+                    lines.append(f"{pad}#pragma HLS dependence {hint}")
+            _emit_block(op.body, lines, indent + 1)
+            lines.append(f"{pad}}}")
+        elif isinstance(op, AffineIfOp):
+            conditions = " && ".join(_condition(c) for c in op.conditions)
+            lines.append(f"{pad}if ({conditions}) {{")
+            _emit_block(op.body, lines, indent + 1)
+            lines.append(f"{pad}}}")
+        elif isinstance(op, AffineStoreOp):
+            target = f"{op.array.name}{_subscripts(op.indices)}"
+            lines.append(f"{pad}{target} = {_value(op.value)};")
+        else:
+            raise TypeError(f"cannot emit op {op!r}")
+
+
+def _condition(constraint) -> str:
+    relation = "==" if constraint.is_equality() else ">="
+    return f"{_affine(constraint.expr)} {relation} 0"
+
+
+def _bounds_expr(bounds: List[LoopBound], is_lower: bool) -> str:
+    rendered = [_bound_one(b) for b in bounds]
+    result = rendered[0]
+    combiner = "pom_max" if is_lower else "pom_min"
+    for other in rendered[1:]:
+        result = f"{combiner}({result}, {other})"
+    return result
+
+
+def _bound_one(bound: LoopBound) -> str:
+    body = _affine(bound.expr)
+    if bound.divisor == 1:
+        return body
+    if bound.is_lower:
+        # ceil division for non-negative ranges: (e + d - 1) / d
+        return f"(({body}) + {bound.divisor - 1}) / {bound.divisor}"
+    return f"({body}) / {bound.divisor}"
+
+
+def _affine(expr: AffineExpr) -> str:
+    parts = []
+    for name in sorted(expr.coeffs):
+        coeff = expr.coeffs[name]
+        if coeff == 1:
+            parts.append(name)
+        elif coeff == -1:
+            parts.append(f"-{name}")
+        else:
+            parts.append(f"{coeff} * {name}")
+    if expr.constant or not parts:
+        parts.append(str(expr.constant))
+    rendered = " + ".join(parts).replace("+ -", "- ")
+    return rendered if len(parts) == 1 else f"({rendered})"
+
+
+def _subscripts(indices: List[AffineExpr]) -> str:
+    return "".join(f"[{_affine(i)}]" for i in indices)
+
+
+def _value(op: ValueOp) -> str:
+    if isinstance(op, ConstantOp):
+        if isinstance(op.value, float):
+            return f"{op.value!r}f" if op.value == int(op.value) else f"{op.value!r}f"
+        return str(op.value)
+    if isinstance(op, IndexOp):
+        return _affine(op.expr)
+    if isinstance(op, AffineLoadOp):
+        return f"{op.array.name}{_subscripts(op.indices)}"
+    if isinstance(op, ArithOp):
+        if op.kind == "%":
+            return f"fmodf({_value(op.lhs)}, {_value(op.rhs)})"
+        return f"({_value(op.lhs)} {op.kind} {_value(op.rhs)})"
+    if isinstance(op, CallOp):
+        if op.func == "relu":
+            (arg,) = op.operands
+            return f"fmax({_value(arg)}, 0.0f)"
+        spelled = _CALL_SPELLING[op.func]
+        args = ", ".join(_value(a) for a in op.operands)
+        return f"{spelled}({args})"
+    if isinstance(op, CastOp):
+        return f"(({op.dtype.c_name}){_value(op.operand)})"
+    raise TypeError(f"cannot emit value {op!r}")

@@ -1,0 +1,220 @@
+"""Exact integer affine expressions over named dimensions.
+
+An :class:`AffineExpr` is a linear combination of named dimensions plus a
+constant, with integer coefficients.  It is the atom from which
+constraints, sets, maps, and schedules are built.  Expressions are
+immutable; all operators return new objects.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Mapping, Tuple, Union
+
+Number = int
+ExprLike = Union["AffineExpr", int, str]
+
+
+class AffineExpr:
+    """A linear form ``sum(coeff_d * d) + const`` with integer coefficients.
+
+    Dimensions are identified by name.  Zero coefficients are never
+    stored, so two equal expressions always compare and hash equal.
+    """
+
+    __slots__ = ("_coeffs", "_const", "_hash")
+
+    def __init__(self, coeffs: Mapping[str, int] | None = None, const: int = 0):
+        clean: Dict[str, int] = {}
+        if coeffs:
+            for name, coeff in coeffs.items():
+                if not isinstance(coeff, int):
+                    raise TypeError(f"coefficient for {name!r} must be int, got {type(coeff).__name__}")
+                if coeff != 0:
+                    clean[name] = coeff
+        if not isinstance(const, int):
+            raise TypeError(f"constant must be int, got {type(const).__name__}")
+        self._coeffs = clean
+        self._const = const
+        self._hash = hash((tuple(sorted(clean.items())), const))
+
+    # -- constructors -------------------------------------------------
+
+    @staticmethod
+    def var(name: str) -> "AffineExpr":
+        """The expression consisting of a single dimension with coefficient 1."""
+        return AffineExpr({name: 1})
+
+    @staticmethod
+    def const(value: int) -> "AffineExpr":
+        """A constant expression."""
+        return AffineExpr({}, value)
+
+    @staticmethod
+    def coerce(value: ExprLike) -> "AffineExpr":
+        """Turn an int, dim name, or expression into an :class:`AffineExpr`."""
+        if isinstance(value, AffineExpr):
+            return value
+        if isinstance(value, int):
+            return AffineExpr.const(value)
+        if isinstance(value, str):
+            return AffineExpr.var(value)
+        raise TypeError(f"cannot coerce {value!r} to AffineExpr")
+
+    # -- accessors ----------------------------------------------------
+
+    @property
+    def coeffs(self) -> Mapping[str, int]:
+        return dict(self._coeffs)
+
+    @property
+    def constant(self) -> int:
+        return self._const
+
+    def coeff(self, name: str) -> int:
+        """The coefficient of dimension ``name`` (0 if absent)."""
+        return self._coeffs.get(name, 0)
+
+    def dims(self) -> Tuple[str, ...]:
+        """Names of dimensions with non-zero coefficient, sorted."""
+        return tuple(sorted(self._coeffs))
+
+    def is_constant(self) -> bool:
+        return not self._coeffs
+
+    def is_zero(self) -> bool:
+        return not self._coeffs and self._const == 0
+
+    def is_single_dim(self) -> bool:
+        """True when the expression is exactly one dimension with coefficient 1."""
+        return self._const == 0 and len(self._coeffs) == 1 and next(iter(self._coeffs.values())) == 1
+
+    def single_dim(self) -> str:
+        """The dimension name when :meth:`is_single_dim` holds."""
+        if not self.is_single_dim():
+            raise ValueError(f"{self} is not a single dimension")
+        return next(iter(self._coeffs))
+
+    def content(self) -> int:
+        """GCD of all coefficients and the constant (0 for the zero expr)."""
+        g = 0
+        for coeff in self._coeffs.values():
+            g = math.gcd(g, abs(coeff))
+        return math.gcd(g, abs(self._const))
+
+    def coeff_gcd(self) -> int:
+        """GCD of dimension coefficients only (0 when constant)."""
+        g = 0
+        for coeff in self._coeffs.values():
+            g = math.gcd(g, abs(coeff))
+        return g
+
+    # -- arithmetic ---------------------------------------------------
+
+    def __add__(self, other: ExprLike) -> "AffineExpr":
+        other = AffineExpr.coerce(other)
+        coeffs = dict(self._coeffs)
+        for name, coeff in other._coeffs.items():
+            coeffs[name] = coeffs.get(name, 0) + coeff
+        return AffineExpr(coeffs, self._const + other._const)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: ExprLike) -> "AffineExpr":
+        return self + (-AffineExpr.coerce(other))
+
+    def __rsub__(self, other: ExprLike) -> "AffineExpr":
+        return AffineExpr.coerce(other) + (-self)
+
+    def __neg__(self) -> "AffineExpr":
+        return AffineExpr({n: -c for n, c in self._coeffs.items()}, -self._const)
+
+    def __mul__(self, factor: int) -> "AffineExpr":
+        if not isinstance(factor, int):
+            return NotImplemented
+        return AffineExpr({n: c * factor for n, c in self._coeffs.items()}, self._const * factor)
+
+    __rmul__ = __mul__
+
+    def __floordiv__(self, divisor: int) -> "AffineExpr":
+        """Exact division only: every coefficient must be divisible."""
+        if not isinstance(divisor, int) or divisor == 0:
+            raise ValueError(f"invalid divisor {divisor!r}")
+        for name, coeff in list(self._coeffs.items()) + [("", self._const)]:
+            if coeff % divisor != 0:
+                raise ValueError(f"{self} is not exactly divisible by {divisor}")
+        return AffineExpr(
+            {n: c // divisor for n, c in self._coeffs.items()}, self._const // divisor
+        )
+
+    # -- substitution and evaluation ----------------------------------
+
+    def substitute(self, bindings: Mapping[str, ExprLike]) -> "AffineExpr":
+        """Replace dimensions with expressions; unbound dims are kept."""
+        result = AffineExpr.const(self._const)
+        for name, coeff in self._coeffs.items():
+            if name in bindings:
+                result = result + AffineExpr.coerce(bindings[name]) * coeff
+            else:
+                result = result + AffineExpr({name: coeff})
+        return result
+
+    def rename(self, mapping: Mapping[str, str]) -> "AffineExpr":
+        """Rename dimensions (missing names are kept)."""
+        return AffineExpr(
+            {mapping.get(n, n): c for n, c in self._coeffs.items()}, self._const
+        )
+
+    def evaluate(self, values: Mapping[str, int]) -> int:
+        """Evaluate at an integer point; every dim must be bound."""
+        total = self._const
+        for name, coeff in self._coeffs.items():
+            if name not in values:
+                raise KeyError(f"dimension {name!r} is unbound")
+            total += coeff * values[name]
+        return total
+
+    # -- comparisons / protocol ---------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AffineExpr):
+            return NotImplemented
+        return self._coeffs == other._coeffs and self._const == other._const
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"AffineExpr({self})"
+
+    def __str__(self) -> str:
+        parts = []
+        for name in sorted(self._coeffs):
+            coeff = self._coeffs[name]
+            if coeff == 1:
+                term = name
+            elif coeff == -1:
+                term = f"-{name}"
+            else:
+                term = f"{coeff}*{name}"
+            if parts and not term.startswith("-"):
+                parts.append(f"+ {term}")
+            elif parts:
+                parts.append(f"- {term[1:]}")
+            else:
+                parts.append(term)
+        if self._const or not parts:
+            if parts:
+                sign = "+" if self._const >= 0 else "-"
+                parts.append(f"{sign} {abs(self._const)}")
+            else:
+                parts.append(str(self._const))
+        return " ".join(parts)
+
+
+def sum_exprs(exprs: Iterable[ExprLike]) -> AffineExpr:
+    """Sum an iterable of expression-likes (empty sum is 0)."""
+    total = AffineExpr.const(0)
+    for expr in exprs:
+        total = total + AffineExpr.coerce(expr)
+    return total

@@ -1,0 +1,411 @@
+"""CLooG-style AST generation from (domain, schedule) pairs.
+
+This module plays the role of isl's ``ast_build`` (Section V-B of the
+paper): given a union of statements, each carrying an iteration domain
+(:class:`~repro.isl.sets.BasicSet`) and a 2d+1 schedule
+(:class:`~repro.isl.maps.ScheduleMap`), it produces a *polyhedral AST*
+with exactly the four node types the paper names -- ``for``-node,
+``if``-node, ``block``-node, and ``user``-node.  Computation statements
+and hardware-optimization info are attached to nodes as annotations, to
+be retrieved during lowering to the affine dialect.
+
+Assumptions (established by the transformation layer):
+
+* every dynamic schedule entry is either a single domain dimension or
+  the padding constant 0;
+* each statement's schedule mentions every domain dimension exactly once.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.isl.affine import AffineExpr
+from repro.isl.constraint import GE, Constraint
+from repro.isl.maps import ScheduleMap
+from repro.isl.sets import BasicSet, LoopBound
+
+
+class AstNode:
+    """Base class for polyhedral AST nodes."""
+
+    __slots__ = ("annotations",)
+
+    def __init__(self):
+        self.annotations: Dict[str, Any] = {}
+
+    def walk(self):
+        """Yield this node and all descendants, pre-order."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def children(self) -> Sequence["AstNode"]:
+        return ()
+
+
+class ForNode(AstNode):
+    """A loop over ``iterator`` from max(lowers) to min(uppers), step 1."""
+
+    __slots__ = ("iterator", "lowers", "uppers", "body")
+
+    def __init__(self, iterator: str, lowers: List[LoopBound], uppers: List[LoopBound], body: AstNode):
+        super().__init__()
+        if not lowers or not uppers:
+            raise ValueError(f"loop {iterator!r} must have both bounds")
+        self.iterator = iterator
+        self.lowers = lowers
+        self.uppers = uppers
+        self.body = body
+
+    def children(self):
+        return (self.body,)
+
+    def constant_trip_count(self) -> Optional[int]:
+        """Trip count when bounds are constants, else None."""
+        lo_vals = [b.evaluate({}) for b in self.lowers if b.expr.is_constant()]
+        hi_vals = [b.evaluate({}) for b in self.uppers if b.expr.is_constant()]
+        if len(lo_vals) != len(self.lowers) or len(hi_vals) != len(self.uppers):
+            return None
+        return max(0, min(hi_vals) - max(lo_vals) + 1)
+
+    def __repr__(self):
+        return f"for {self.iterator} in [{self.lowers}, {self.uppers}]"
+
+
+class IfNode(AstNode):
+    """A guard: ``conditions`` (conjunction) wrapping ``body``."""
+
+    __slots__ = ("conditions", "body")
+
+    def __init__(self, conditions: List[Constraint], body: AstNode):
+        super().__init__()
+        if not conditions:
+            raise ValueError("if-node needs at least one condition")
+        self.conditions = conditions
+        self.body = body
+
+    def children(self):
+        return (self.body,)
+
+    def __repr__(self):
+        return f"if {' and '.join(str(c) for c in self.conditions)}"
+
+
+class BlockNode(AstNode):
+    """A sequence of child nodes executed in order."""
+
+    __slots__ = ("stmts",)
+
+    def __init__(self, stmts: Sequence[AstNode]):
+        super().__init__()
+        self.stmts = list(stmts)
+
+    def children(self):
+        return tuple(self.stmts)
+
+    def __repr__(self):
+        return f"block[{len(self.stmts)}]"
+
+
+class UserNode(AstNode):
+    """A statement instance; ``binding`` maps domain dims to iterator exprs."""
+
+    __slots__ = ("name", "payload", "binding")
+
+    def __init__(self, name: str, payload: Any, binding: Mapping[str, AffineExpr]):
+        super().__init__()
+        self.name = name
+        self.payload = payload
+        self.binding = dict(binding)
+
+    def __repr__(self):
+        return f"user<{self.name}>"
+
+
+class _StmtState:
+    """Per-statement bookkeeping while the AST is being built."""
+
+    __slots__ = ("name", "domain", "schedule", "payload", "binding")
+
+    def __init__(self, name: str, domain: BasicSet, schedule: ScheduleMap, payload: Any):
+        self.name = name
+        self.domain = domain
+        self.schedule = schedule
+        self.payload = payload
+        self.binding: Dict[str, str] = {}  # domain dim -> loop iterator
+
+
+class AstBuilder:
+    """Builds a polyhedral AST from statements with domains and schedules."""
+
+    def __init__(self):
+        self._fresh = 0
+
+    def build(
+        self,
+        statements: Sequence[Tuple[str, BasicSet, ScheduleMap, Any]],
+    ) -> AstNode:
+        """Generate the AST for ``(name, domain, schedule, payload)`` tuples."""
+        if not statements:
+            return BlockNode([])
+        depth = max(s[2].depth for s in statements)
+        states = [
+            _StmtState(name, domain, schedule.pad_to_depth(depth), payload)
+            for name, domain, schedule, payload in statements
+        ]
+        context = BasicSet.universe(())
+        return self._build_level(states, 0, depth, [], context)
+
+    # -- internals -------------------------------------------------------
+
+    def _build_level(
+        self,
+        states: List[_StmtState],
+        level: int,
+        depth: int,
+        outer_iters: List[str],
+        context: BasicSet,
+    ) -> AstNode:
+        if level == depth:
+            return self._build_leaves(states, outer_iters, context)
+
+        groups: Dict[int, List[_StmtState]] = {}
+        for state in states:
+            groups.setdefault(state.schedule.static_dim(level), []).append(state)
+
+        children = []
+        for key in sorted(groups):
+            children.append(
+                self._build_loop(groups[key], level, depth, outer_iters, context)
+            )
+        if len(children) == 1:
+            return children[0]
+        return BlockNode(children)
+
+    def _build_loop(
+        self,
+        states: List[_StmtState],
+        level: int,
+        depth: int,
+        outer_iters: List[str],
+        context: BasicSet,
+    ) -> AstNode:
+        dyn_exprs = [s.schedule.dynamic_dim(level) for s in states]
+        if all(e.is_zero() for e in dyn_exprs):
+            return self._build_level(states, level + 1, depth, outer_iters, context)
+        if not all(e.is_single_dim() for e in dyn_exprs):
+            raise ValueError(
+                f"dynamic schedule dims at level {level} must be single dims: {dyn_exprs}"
+            )
+
+        dim_names = [e.single_dim() for e in dyn_exprs]
+        iterator = self._pick_iterator(dim_names, outer_iters, states)
+        for state, dim in zip(states, dim_names):
+            state.binding[dim] = iterator
+
+        lowers, uppers = self._loop_bounds(states, dim_names, iterator, outer_iters)
+        lowers, uppers = _prune_redundant(context, iterator, lowers, uppers)
+        new_context = self._extend_context(context, iterator, lowers, uppers)
+        body = self._build_level(states, level + 1, depth, outer_iters + [iterator], new_context)
+        # Undo bindings so sibling groups sharing these states stay clean.
+        node = ForNode(iterator, lowers, uppers, body)
+        return node
+
+    def _build_leaves(
+        self,
+        states: List[_StmtState],
+        outer_iters: List[str],
+        context: BasicSet,
+    ) -> AstNode:
+        leaves = []
+        final_keys = [(s.schedule.entries[-1].constant, i) for i, s in enumerate(states)]
+        for _, index in sorted(final_keys):
+            state = states[index]
+            unbound = [d for d in state.domain.dims if d not in state.binding]
+            if unbound:
+                raise ValueError(
+                    f"statement {state.name!r}: domain dims {unbound} never scheduled"
+                )
+            binding_exprs = {
+                dim: AffineExpr.var(it) for dim, it in state.binding.items()
+            }
+            user: AstNode = UserNode(state.name, state.payload, binding_exprs)
+            guards = self._guards(state, context)
+            if guards:
+                user = IfNode(guards, user)
+            leaves.append(user)
+        if len(leaves) == 1:
+            return leaves[0]
+        return BlockNode(leaves)
+
+    def _guards(self, state: _StmtState, context: BasicSet) -> List[Constraint]:
+        """Domain constraints not already implied by the loop bounds."""
+        guards = []
+        for constraint in state.domain.constraints:
+            rewritten = constraint.rename(state.binding)
+            if rewritten.is_tautology():
+                continue
+            if self._implied(context, rewritten):
+                continue
+            guards.append(rewritten)
+        return guards
+
+    @staticmethod
+    def _implied(context: BasicSet, constraint: Constraint) -> bool:
+        """Whether ``context`` entails ``constraint`` over the integers."""
+        dims = set(context.dims) | set(constraint.dims())
+        base = BasicSet(tuple(sorted(dims)), []).with_constraints(
+            c for c in context.constraints
+        )
+        if constraint.kind == GE:
+            negations = [Constraint(-constraint.expr - 1, GE)]
+        else:
+            negations = [
+                Constraint(constraint.expr - 1, GE),
+                Constraint(-constraint.expr - 1, GE),
+            ]
+        return all(base.with_constraints([neg]).is_empty() for neg in negations)
+
+    def _pick_iterator(
+        self,
+        dim_names: List[str],
+        outer_iters: List[str],
+        states: List[_StmtState],
+    ) -> str:
+        """Choose a loop iterator name safe for every fused statement.
+
+        A candidate collides when it is already an outer iterator, or
+        when some fused statement has a *different* domain dim of the
+        same name (binding would alias two of its dimensions).
+        """
+
+        def usable(candidate: str) -> bool:
+            if candidate in outer_iters:
+                return False
+            for state, own_dim in zip(states, dim_names):
+                if candidate != own_dim and candidate in state.domain.dims:
+                    return False
+                if candidate in state.binding.values():
+                    return False
+            return True
+
+        for candidate in dim_names:
+            if usable(candidate):
+                return candidate
+        while True:
+            self._fresh += 1
+            fresh = f"t{self._fresh}"
+            if usable(fresh):
+                return fresh
+
+    def _loop_bounds(
+        self,
+        states: List[_StmtState],
+        dim_names: List[str],
+        iterator: str,
+        outer_iters: List[str],
+    ) -> Tuple[List[LoopBound], List[LoopBound]]:
+        per_stmt: List[Tuple[List[LoopBound], List[LoopBound]]] = []
+        for state, dim in zip(states, dim_names):
+            rename = dict(state.binding)
+            domain = state.domain.rename_dims(rename)
+            renamed_dim = rename.get(dim, dim)
+            lowers, uppers = domain.dim_bounds(renamed_dim, context=outer_iters)
+            if not lowers or not uppers:
+                raise ValueError(
+                    f"statement {state.name!r}: loop dim {dim!r} is unbounded"
+                )
+            per_stmt.append((lowers, uppers))
+
+        if len(per_stmt) == 1:
+            return per_stmt[0]
+
+        # Fused statements: prefer bounds common to all; otherwise fall back
+        # to constant envelopes (guards at the leaves keep semantics exact).
+        common_low = _common(per_stmt, lower=True)
+        common_up = _common(per_stmt, lower=False)
+        lowers = common_low or [_const_envelope(per_stmt, lower=True)]
+        uppers = common_up or [_const_envelope(per_stmt, lower=False)]
+        return lowers, uppers
+
+    @staticmethod
+    def _extend_context(
+        context: BasicSet,
+        iterator: str,
+        lowers: List[LoopBound],
+        uppers: List[LoopBound],
+    ) -> BasicSet:
+        extended = context.add_dims([iterator])
+        constraints = []
+        it = AffineExpr.var(iterator)
+        for bound in lowers:
+            # iterator >= ceil(e/d)  <=>  d*iterator >= e
+            constraints.append(Constraint(it * bound.divisor - bound.expr, GE))
+        for bound in uppers:
+            # iterator <= floor(e/d)  <=>  d*iterator <= e
+            constraints.append(Constraint(bound.expr - it * bound.divisor, GE))
+        return extended.with_constraints(constraints)
+
+
+def _bound_constraint(iterator: str, bound: LoopBound) -> Constraint:
+    it = AffineExpr.var(iterator)
+    if bound.is_lower:
+        return Constraint(it * bound.divisor - bound.expr, GE)
+    return Constraint(bound.expr - it * bound.divisor, GE)
+
+
+def _prune_redundant(
+    context: BasicSet,
+    iterator: str,
+    lowers: List[LoopBound],
+    uppers: List[LoopBound],
+) -> Tuple[List[LoopBound], List[LoopBound]]:
+    """Drop bounds implied by the remaining bounds under the loop context.
+
+    Keeps generated loops canonical (a single lower/upper bound whenever
+    possible), which both cleans up the emitted code and lets the HLS
+    estimator read off constant trip counts.
+    """
+    all_bounds = lowers + uppers
+    if len(lowers) <= 1 and len(uppers) <= 1:
+        return lowers, uppers
+    base_dims = tuple(dict.fromkeys(context.dims + (iterator,)))
+    kept = list(all_bounds)
+    for candidate in all_bounds:
+        if len([b for b in kept if b.is_lower == candidate.is_lower]) <= 1:
+            continue
+        others = [b for b in kept if b is not candidate]
+        test = BasicSet(base_dims, list(context.constraints)
+                        + [_bound_constraint(iterator, b) for b in others])
+        negated = _bound_constraint(iterator, candidate)
+        # candidate is implied iff test ∧ ¬candidate is empty
+        violated = Constraint(-negated.expr - 1, GE)
+        if test.with_constraints([violated]).is_empty():
+            kept = others
+    return (
+        [b for b in kept if b.is_lower],
+        [b for b in kept if not b.is_lower],
+    )
+
+
+def _common(per_stmt, lower: bool) -> List[LoopBound]:
+    index = 0 if lower else 1
+    sets = [set(bounds[index]) for bounds in per_stmt]
+    shared = set.intersection(*sets)
+    if not shared:
+        return []
+    ordered = [b for b in per_stmt[0][index] if b in shared]
+    return ordered
+
+
+def _const_envelope(per_stmt, lower: bool) -> LoopBound:
+    index = 0 if lower else 1
+    values = []
+    for bounds in per_stmt:
+        const_vals = [b.evaluate({}) for b in bounds[index] if b.expr.is_constant()]
+        if not const_vals:
+            raise ValueError("fused statements have incompatible non-constant bounds")
+        values.append(max(const_vals) if lower else min(const_vals))
+    envelope = min(values) if lower else max(values)
+    return LoopBound(AffineExpr.const(envelope), 1, is_lower=lower)

@@ -1,0 +1,395 @@
+"""Basic integer sets: conjunctions of affine constraints over named dims.
+
+A :class:`BasicSet` plays the role of an isl ``basic_set``: it is an
+ordered tuple of dimension names plus a list of constraints.  It supports
+the operations the polyhedral IR needs -- intersection, dimension
+substitution (the mechanism behind split/tile/skew), Fourier-Motzkin
+projection, rational emptiness testing with integer tightening, loop
+bound extraction for code generation, and exhaustive point enumeration
+for small sets (used heavily by the test suite as ground truth).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from fractions import Fraction
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.isl.affine import AffineExpr, ExprLike
+from repro.isl.constraint import EQ, GE, Constraint
+
+
+class LoopBound:
+    """One loop bound for code generation: ``floor/ceil(expr / divisor)``.
+
+    Lower bounds use ceiling division, upper bounds use floor division.
+    ``divisor`` is 1 for plain affine bounds.
+    """
+
+    __slots__ = ("expr", "divisor", "is_lower")
+
+    def __init__(self, expr: AffineExpr, divisor: int, is_lower: bool):
+        if divisor <= 0:
+            raise ValueError("divisor must be positive")
+        g = math.gcd(expr.content() or divisor, divisor)
+        if g > 1:
+            try:
+                expr = expr // g
+                divisor //= g
+            except ValueError:
+                pass
+        self.expr = expr
+        self.divisor = divisor
+        self.is_lower = is_lower
+
+    def evaluate(self, values: Mapping[str, int]) -> int:
+        value = self.expr.evaluate(values)
+        if self.is_lower:
+            return -((-value) // self.divisor)  # ceil division
+        return value // self.divisor
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LoopBound):
+            return NotImplemented
+        return (
+            self.expr == other.expr
+            and self.divisor == other.divisor
+            and self.is_lower == other.is_lower
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.expr, self.divisor, self.is_lower))
+
+    def __repr__(self) -> str:
+        if self.divisor == 1:
+            return str(self.expr)
+        func = "ceil" if self.is_lower else "floor"
+        return f"{func}(({self.expr})/{self.divisor})"
+
+
+class BasicSet:
+    """A conjunction of affine constraints over an ordered dimension tuple."""
+
+    __slots__ = ("dims", "constraints")
+
+    def __init__(self, dims: Sequence[str], constraints: Iterable[Constraint] = ()):
+        if len(set(dims)) != len(dims):
+            raise ValueError(f"duplicate dimension names in {dims!r}")
+        self.dims: Tuple[str, ...] = tuple(dims)
+        seen = set()
+        kept: List[Constraint] = []
+        for constraint in constraints:
+            for name in constraint.dims():
+                if name not in self.dims:
+                    raise ValueError(
+                        f"constraint {constraint} uses unknown dimension {name!r}"
+                    )
+            if constraint.is_tautology() or constraint in seen:
+                continue
+            seen.add(constraint)
+            kept.append(constraint)
+        self.constraints: Tuple[Constraint, ...] = tuple(kept)
+
+    # -- constructors ---------------------------------------------------
+
+    @staticmethod
+    def box(bounds: Mapping[str, Tuple[int, int]], order: Optional[Sequence[str]] = None) -> "BasicSet":
+        """A rectangular set ``{ d : lo <= d <= hi }`` per dimension.
+
+        Bounds are inclusive on both ends, matching the half-open DSL
+        ranges after ``hi = extent - 1`` conversion done by callers.
+        """
+        dims = tuple(order) if order is not None else tuple(bounds)
+        constraints = []
+        for name in dims:
+            lo, hi = bounds[name]
+            constraints.append(Constraint.ge(AffineExpr.var(name), lo))
+            constraints.append(Constraint.le(AffineExpr.var(name), hi))
+        return BasicSet(dims, constraints)
+
+    @staticmethod
+    def universe(dims: Sequence[str]) -> "BasicSet":
+        return BasicSet(dims, ())
+
+    # -- structural operations -------------------------------------------
+
+    def with_constraints(self, extra: Iterable[Constraint]) -> "BasicSet":
+        return BasicSet(self.dims, list(self.constraints) + list(extra))
+
+    def intersect(self, other: "BasicSet") -> "BasicSet":
+        if self.dims != other.dims:
+            raise ValueError(f"dimension mismatch: {self.dims} vs {other.dims}")
+        return self.with_constraints(other.constraints)
+
+    def rename_dims(self, mapping: Mapping[str, str]) -> "BasicSet":
+        new_dims = tuple(mapping.get(d, d) for d in self.dims)
+        return BasicSet(new_dims, [c.rename(mapping) for c in self.constraints])
+
+    def reorder_dims(self, new_order: Sequence[str]) -> "BasicSet":
+        """Permute the dimension tuple (constraints are unaffected)."""
+        if set(new_order) != set(self.dims) or len(new_order) != len(self.dims):
+            raise ValueError(f"{new_order!r} is not a permutation of {self.dims!r}")
+        return BasicSet(tuple(new_order), self.constraints)
+
+    def substitute_dim(
+        self,
+        old_dim: str,
+        replacement: ExprLike,
+        new_dims: Sequence[str],
+        extra: Iterable[Constraint] = (),
+    ) -> "BasicSet":
+        """Replace ``old_dim`` by an affine expression over new dimensions.
+
+        This is the workhorse behind split/tile/skew: e.g. splitting
+        ``i`` by factor ``t`` substitutes ``i -> t*i0 + i1`` and adds
+        ``0 <= i1 < t``.  ``new_dims`` is the full ordered dimension
+        tuple of the result.
+        """
+        if old_dim not in self.dims:
+            raise ValueError(f"unknown dimension {old_dim!r}")
+        replacement = AffineExpr.coerce(replacement)
+        constraints = [c.substitute({old_dim: replacement}) for c in self.constraints]
+        result = BasicSet(tuple(new_dims), constraints)
+        return result.with_constraints(extra)
+
+    def drop_dim(self, name: str) -> "BasicSet":
+        """Project out a dimension via Fourier-Motzkin elimination."""
+        if name not in self.dims:
+            raise ValueError(f"unknown dimension {name!r}")
+        constraints = _eliminate(list(self.constraints), name)
+        remaining = tuple(d for d in self.dims if d != name)
+        return BasicSet(remaining, constraints)
+
+    def project_onto(self, keep: Sequence[str]) -> "BasicSet":
+        """Project out every dimension not in ``keep``."""
+        result = self
+        for name in [d for d in self.dims if d not in keep]:
+            result = result.drop_dim(name)
+        return result.reorder_dims([d for d in keep if d in result.dims])
+
+    def add_dims(self, names: Sequence[str]) -> "BasicSet":
+        """Append unconstrained dimensions."""
+        return BasicSet(self.dims + tuple(names), self.constraints)
+
+    # -- queries ----------------------------------------------------------
+
+    def is_empty(self) -> bool:
+        """Rational emptiness via full Fourier-Motzkin elimination.
+
+        Each elimination step applies integer tightening (see
+        :mod:`repro.isl.constraint`), which keeps the test exact for the
+        loop-bound style sets this library manipulates.
+        """
+        constraints = list(self.constraints)
+        if any(c.is_contradiction() for c in constraints):
+            return True
+        for name in self.dims:
+            constraints = _eliminate(constraints, name)
+            if any(c.is_contradiction() for c in constraints):
+                return True
+        return False
+
+    def contains(self, point: Mapping[str, int]) -> bool:
+        return all(c.satisfied_by(point) for c in self.constraints)
+
+    def dim_bounds(self, name: str, context: Sequence[str] = ()) -> Tuple[List[LoopBound], List[LoopBound]]:
+        """Lower/upper bounds of ``name`` as a function of ``context`` dims.
+
+        All dimensions other than ``name`` and the context are projected
+        out first.  Each inequality ``a*name + e >= 0`` with ``a > 0``
+        contributes a lower bound ``ceil(-e / a)``; with ``a < 0`` an
+        upper bound ``floor(e / -a)`` -- exactly how isl's ast_build
+        derives loop bounds.
+        """
+        keep = list(context) + [name]
+        projected = self.project_onto(keep)
+        lowers: List[LoopBound] = []
+        uppers: List[LoopBound] = []
+        for constraint in projected.constraints:
+            a = constraint.expr.coeff(name)
+            if a == 0:
+                continue
+            rest = constraint.expr - AffineExpr({name: a})
+            kinds = [constraint.kind]
+            if constraint.kind == EQ:
+                kinds = [GE, "le"]
+            for kind in kinds:
+                if kind == GE:
+                    if a > 0:
+                        lowers.append(LoopBound(-rest, a, is_lower=True))
+                    else:
+                        uppers.append(LoopBound(rest, -a, is_lower=False))
+                else:  # the <= half of an equality: -(a*name + e) >= 0
+                    if a > 0:
+                        uppers.append(LoopBound(-rest, a, is_lower=False))
+                    else:
+                        lowers.append(LoopBound(rest, -a, is_lower=True))
+        return _dedupe(lowers), _dedupe(uppers)
+
+    def constant_bounds(self, name: str) -> Tuple[Optional[int], Optional[int]]:
+        """Constant lower/upper bounds of a dimension, if they exist."""
+        lowers, uppers = self.dim_bounds(name)
+        lo = None
+        hi = None
+        for bound in lowers:
+            if bound.expr.is_constant():
+                value = bound.evaluate({})
+                lo = value if lo is None else max(lo, value)
+        for bound in uppers:
+            if bound.expr.is_constant():
+                value = bound.evaluate({})
+                hi = value if hi is None else min(hi, value)
+        return lo, hi
+
+    def points(self, limit: int = 1_000_000) -> Iterator[Dict[str, int]]:
+        """Enumerate all integer points (small sets only; test ground truth).
+
+        Raises :class:`ValueError` if any dimension lacks constant bounds
+        or the bounding box exceeds ``limit`` points.
+        """
+        ranges = []
+        total = 1
+        for name in self.dims:
+            lo, hi = self.constant_bounds(name)
+            if lo is None or hi is None:
+                raise ValueError(f"dimension {name!r} is unbounded; cannot enumerate")
+            span = max(0, hi - lo + 1)
+            total *= span
+            if total > limit:
+                raise ValueError(f"set too large to enumerate (> {limit} candidates)")
+            ranges.append(range(lo, hi + 1))
+        for combo in itertools.product(*ranges):
+            point = dict(zip(self.dims, combo))
+            if self.contains(point):
+                yield point
+
+    def count_points(self, limit: int = 1_000_000) -> int:
+        return sum(1 for _ in self.points(limit))
+
+    def sample(self) -> Optional[Dict[str, int]]:
+        """Find one integer point, or None when empty.
+
+        Works by recursively fixing dimensions to values inside their
+        projected bounds; exact for the integrally-tight sets produced by
+        the loop transformations in this library.
+        """
+        return _sample(self, {})
+
+    # -- protocol -----------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BasicSet):
+            return NotImplemented
+        return self.dims == other.dims and set(self.constraints) == set(other.constraints)
+
+    def __hash__(self) -> int:
+        return hash((self.dims, frozenset(self.constraints)))
+
+    def __repr__(self) -> str:
+        body = " and ".join(str(c) for c in self.constraints) or "true"
+        return f"{{ [{', '.join(self.dims)}] : {body} }}"
+
+
+def _dedupe(bounds: List[LoopBound]) -> List[LoopBound]:
+    seen = set()
+    result = []
+    for bound in bounds:
+        if bound not in seen:
+            seen.add(bound)
+            result.append(bound)
+    return result
+
+
+def _eliminate(constraints: List[Constraint], name: str) -> List[Constraint]:
+    """One Fourier-Motzkin elimination step for dimension ``name``.
+
+    Equalities involving ``name`` are used as substitutions when the
+    coefficient divides everything (keeping arithmetic exact); otherwise
+    they are decomposed into two inequalities.
+    """
+    # Prefer substitution through an equality with unit coefficient.
+    for constraint in constraints:
+        if constraint.kind != EQ:
+            continue
+        a = constraint.expr.coeff(name)
+        if abs(a) == 1:
+            # a*name + rest == 0  ->  name == -rest/a
+            rest = constraint.expr - AffineExpr({name: a})
+            replacement = rest * (-1) if a == 1 else rest
+            out = []
+            for other in constraints:
+                if other is constraint:
+                    continue
+                out.append(other.substitute({name: replacement}))
+            return out
+
+    positives: List[Tuple[int, AffineExpr]] = []  # a > 0: a*name >= -rest
+    negatives: List[Tuple[int, AffineExpr]] = []  # a < 0
+    others: List[Constraint] = []
+    for constraint in constraints:
+        a = constraint.expr.coeff(name)
+        rest = constraint.expr - AffineExpr({name: a})
+        if a == 0:
+            others.append(constraint)
+        elif constraint.kind == EQ:
+            # an equality is both a lower and an upper bound on `name`
+            if a > 0:
+                positives.append((a, rest))
+                negatives.append((-a, -rest))
+            else:
+                negatives.append((a, rest))
+                positives.append((-a, -rest))
+        elif a > 0:
+            positives.append((a, rest))
+        else:
+            negatives.append((a, rest))
+
+    for (ap, rp) in positives:
+        for (an, rn) in negatives:
+            # ap*name + rp >= 0 and an*name + rn >= 0 with ap>0, an<0
+            # combine: (-an)*rp + ap*rn >= 0
+            combined = rp * (-an) + rn * ap
+            constraint = Constraint(combined, GE)
+            if not constraint.is_tautology():
+                others.append(constraint)
+    # Dedupe while preserving order.
+    seen = set()
+    result = []
+    for constraint in others:
+        if constraint not in seen:
+            seen.add(constraint)
+            result.append(constraint)
+    return result
+
+
+def _sample(bset: BasicSet, fixed: Dict[str, int]) -> Optional[Dict[str, int]]:
+    remaining = [d for d in bset.dims if d not in fixed]
+    if not remaining:
+        return dict(fixed) if bset.contains(fixed) else None
+    name = remaining[0]
+    # Project onto already-fixed dims + this one to get its feasible range.
+    sub = bset
+    for fixed_name, value in fixed.items():
+        sub = sub.with_constraints([Constraint.eq(AffineExpr.var(fixed_name), value)])
+    lowers, uppers = sub.dim_bounds(name)
+    lo_values = [b.evaluate(fixed) for b in lowers if set(b.expr.dims()) <= set(fixed)]
+    hi_values = [b.evaluate(fixed) for b in uppers if set(b.expr.dims()) <= set(fixed)]
+    if not lo_values or not hi_values:
+        # Unbounded direction: try a small window around zero.
+        lo, hi = -16, 16
+        if lo_values:
+            lo = max(lo_values)
+            hi = lo + 32
+        if hi_values:
+            hi = min(hi_values)
+            lo = hi - 32
+    else:
+        lo, hi = max(lo_values), min(hi_values)
+    for value in range(lo, hi + 1):
+        fixed[name] = value
+        found = _sample(bset, fixed)
+        if found is not None:
+            return found
+        del fixed[name]
+    return None

@@ -1,0 +1,196 @@
+"""Union sets: finite unions of basic sets, subtraction, lexmin/lexmax.
+
+isl's ``union_set`` counterpart: several operations the conjunctive
+:class:`~repro.isl.sets.BasicSet` cannot express close only under
+unions -- set subtraction (the complement of one constraint at a time)
+and exact distinctness tests among them.  Lexicographic extrema are the
+other staple this module provides; they are computed by successive
+coordinate minimization, exact for the bounded sets this library
+manipulates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.isl.affine import AffineExpr
+from repro.isl.constraint import EQ, GE, Constraint
+from repro.isl.sets import BasicSet
+
+
+class UnionSet:
+    """A finite union of basic sets over one shared dimension tuple."""
+
+    __slots__ = ("dims", "parts")
+
+    def __init__(self, dims: Sequence[str], parts: Iterable[BasicSet] = ()):
+        self.dims: Tuple[str, ...] = tuple(dims)
+        kept: List[BasicSet] = []
+        for part in parts:
+            if part.dims != self.dims:
+                raise ValueError(
+                    f"part dims {part.dims} do not match union dims {self.dims}"
+                )
+            if not part.is_empty():
+                kept.append(part)
+        self.parts: Tuple[BasicSet, ...] = tuple(kept)
+
+    # -- constructors -----------------------------------------------------
+
+    @staticmethod
+    def from_set(bset: BasicSet) -> "UnionSet":
+        return UnionSet(bset.dims, [bset])
+
+    @staticmethod
+    def empty(dims: Sequence[str]) -> "UnionSet":
+        return UnionSet(dims, [])
+
+    # -- algebra ------------------------------------------------------------
+
+    def union(self, other: "UnionSet") -> "UnionSet":
+        if self.dims != other.dims:
+            raise ValueError(f"dimension mismatch: {self.dims} vs {other.dims}")
+        return UnionSet(self.dims, list(self.parts) + list(other.parts))
+
+    def intersect_set(self, bset: BasicSet) -> "UnionSet":
+        return UnionSet(self.dims, [part.intersect(bset) for part in self.parts])
+
+    def subtract_constraint(self, constraint: Constraint) -> "UnionSet":
+        """Points of this union violating ``constraint``.
+
+        The complement of ``e >= 0`` over the integers is ``-e - 1 >= 0``;
+        the complement of ``e == 0`` is the union of ``e >= 1`` and
+        ``-e >= 1``.
+        """
+        if constraint.kind == GE:
+            negations = [Constraint(-constraint.expr - 1, GE)]
+        else:
+            negations = [
+                Constraint(constraint.expr - 1, GE),
+                Constraint(-constraint.expr - 1, GE),
+            ]
+        parts = []
+        for part in self.parts:
+            for negation in negations:
+                parts.append(part.with_constraints([negation]))
+        return UnionSet(self.dims, parts)
+
+    def subtract(self, bset: BasicSet) -> "UnionSet":
+        """This union minus a basic set (union of per-constraint complements).
+
+        ``A \\ B = A ∩ ¬(c1 ∧ c2 ∧ ...) = ∪_k (A ∩ c1 ∧ .. ∧ c_{k-1} ∧ ¬c_k)``
+        -- the standard disjoint decomposition isl uses.
+        """
+        if bset.dims != self.dims:
+            raise ValueError(f"dimension mismatch: {self.dims} vs {bset.dims}")
+        result_parts: List[BasicSet] = []
+        for part in self.parts:
+            kept_prefix: List[Constraint] = []
+            for constraint in bset.constraints:
+                chunk = part.with_constraints(kept_prefix)
+                violated = UnionSet.from_set(chunk).subtract_constraint(constraint)
+                result_parts.extend(violated.parts)
+                kept_prefix.append(constraint)
+        return UnionSet(self.dims, result_parts)
+
+    # -- queries --------------------------------------------------------------
+
+    def is_empty(self) -> bool:
+        return not self.parts
+
+    def contains(self, point: Dict[str, int]) -> bool:
+        return any(part.contains(point) for part in self.parts)
+
+    def points(self, limit: int = 1_000_000) -> Iterator[Dict[str, int]]:
+        """Distinct integer points across all parts (small sets only)."""
+        seen = set()
+        for part in self.parts:
+            for point in part.points(limit):
+                key = tuple(point[d] for d in self.dims)
+                if key not in seen:
+                    seen.add(key)
+                    yield point
+
+    def count_points(self, limit: int = 1_000_000) -> int:
+        return sum(1 for _ in self.points(limit))
+
+    def sample(self) -> Optional[Dict[str, int]]:
+        for part in self.parts:
+            point = part.sample()
+            if point is not None:
+                return point
+        return None
+
+    def coalesce(self) -> "UnionSet":
+        """Drop parts subsumed by another part (cheap pairwise check)."""
+        kept: List[BasicSet] = []
+        for part in self.parts:
+            if any(_subsumes(other, part) for other in kept):
+                continue
+            kept = [k for k in kept if not _subsumes(part, k)]
+            kept.append(part)
+        return UnionSet(self.dims, kept)
+
+    def __repr__(self):
+        if not self.parts:
+            return f"{{ [{', '.join(self.dims)}] : false }}"
+        return " ∪ ".join(repr(p) for p in self.parts)
+
+
+def _subsumes(big: BasicSet, small: BasicSet) -> bool:
+    """True when every point of ``small`` lies in ``big`` (sound test)."""
+    probe = UnionSet.from_set(small).subtract(big)
+    return probe.is_empty()
+
+
+# -- lexicographic extrema ------------------------------------------------------
+
+
+def lexmin(bset: BasicSet) -> Optional[Dict[str, int]]:
+    """The lexicographically smallest integer point (None when empty).
+
+    Minimizes coordinates in dimension order, fixing each to its
+    smallest feasible value before moving inward -- exact for bounded
+    sets (unbounded directions raise ValueError).
+    """
+    return _lex_extreme(bset, smallest=True)
+
+
+def lexmax(bset: BasicSet) -> Optional[Dict[str, int]]:
+    """The lexicographically largest integer point (None when empty)."""
+    return _lex_extreme(bset, smallest=False)
+
+
+def _lex_extreme(bset: BasicSet, smallest: bool) -> Optional[Dict[str, int]]:
+    if bset.is_empty():
+        return None
+    fixed: Dict[str, int] = {}
+    current = bset
+    for name in bset.dims:
+        value = _coordinate_extreme(current, name, smallest)
+        if value is None:
+            raise ValueError(f"dimension {name!r} is unbounded; no lex extremum")
+        # The relaxed per-coordinate bound may be rationally tight but
+        # integrally infeasible; walk toward feasibility.
+        direction = 1 if smallest else -1
+        for _ in range(4096):
+            candidate = current.with_constraints(
+                [Constraint.eq(AffineExpr.var(name), value)]
+            )
+            if not candidate.is_empty():
+                break
+            value += direction
+        else:
+            return None
+        fixed[name] = value
+        current = candidate
+    return fixed
+
+
+def _coordinate_extreme(bset: BasicSet, name: str, smallest: bool) -> Optional[int]:
+    lowers, uppers = bset.dim_bounds(name)
+    bounds = lowers if smallest else uppers
+    values = [b.evaluate({}) for b in bounds if b.expr.is_constant()]
+    if not values:
+        return None
+    return max(values) if smallest else min(values)

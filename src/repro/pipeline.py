@@ -1,0 +1,62 @@
+"""The end-to-end compilation pipeline (paper Fig. 3 / Fig. 7).
+
+DSL function -> dependence graph IR -> polyhedral IR (schedule replay +
+AST build) -> annotated affine dialect -> HLS C, with virtual HLS
+synthesis available at the affine level.  These drivers are what the
+``Function`` convenience methods delegate to.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dsl.function import Function
+from repro.depgraph.graph import DependenceGraph, build_dependence_graph
+from repro.polyir.program import PolyProgram, lower_function
+from repro.affine.ir import FuncOp
+from repro.affine.lowering import lower_program
+from repro.hls.device import FPGADevice, XC7Z020
+from repro.hls.estimator import HlsEstimator
+from repro.hls.report import SynthesisReport
+from repro.hlsgen.codegen import generate_hls_c
+
+
+def analyze(function: Function) -> DependenceGraph:
+    """Level 1: build and analyze the dependence graph IR."""
+    return build_dependence_graph(function)
+
+
+def lower_to_polyhedral(function: Function) -> PolyProgram:
+    """Level 2: polyhedral IR with the function's schedule replayed."""
+    return lower_function(function)
+
+
+def lower_to_affine(function: Function) -> FuncOp:
+    """Level 3: annotated affine dialect."""
+    return lower_program(lower_to_polyhedral(function))
+
+
+def compile_to_hls_c(function: Function, canonicalize_ir: bool = True) -> str:
+    """Full pipeline: emit synthesizable HLS C.
+
+    The affine IR is canonicalized (trip-1 loops promoted, constant
+    guards folded, dead regions removed) and verified before emission.
+    """
+    from repro.affine.passes import InsertDependencePragmas, canonicalize
+
+    func_op = lower_to_affine(function)
+    if canonicalize_ir:
+        canonicalize(func_op)
+        InsertDependencePragmas().run(func_op)
+    return generate_hls_c(func_op)
+
+
+def estimate(
+    function: Function,
+    device: Optional[FPGADevice] = None,
+    clock_ns: float = 10.0,
+) -> SynthesisReport:
+    """Virtual HLS synthesis of the function under its current schedule."""
+    func = lower_to_affine(function)
+    estimator = HlsEstimator(device=device or XC7Z020, clock_ns=clock_ns)
+    return estimator.estimate(func)

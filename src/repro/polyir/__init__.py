@@ -1,0 +1,34 @@
+"""Polyhedral IR: loop transformations as integer set/map manipulations.
+
+The second IR level of POM (paper Section V-B).  Statements carry
+iteration domains and 2d+1 schedules; the transformation library
+(interchange, split, tile, skew) rewrites them exactly as the paper's
+worked examples do, and the program object unions everything and builds
+the annotated polyhedral AST.
+"""
+
+from repro.polyir.program import PolyProgram, lower_function
+from repro.polyir.statement import HardwareOpt, PolyStatement
+from repro.polyir.transforms import (
+    TransformError,
+    interchange,
+    reverse,
+    shift,
+    skew,
+    split,
+    tile,
+)
+
+__all__ = [
+    "PolyProgram",
+    "PolyStatement",
+    "HardwareOpt",
+    "TransformError",
+    "lower_function",
+    "interchange",
+    "split",
+    "tile",
+    "skew",
+    "reverse",
+    "shift",
+]

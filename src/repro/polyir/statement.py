@@ -1,0 +1,143 @@
+"""Polyhedral statements: the records manipulated by the polyhedral IR.
+
+Each compute lowers to one :class:`PolyStatement` holding its iteration
+domain (an integer set), its loop order plus static sequencing levels
+(together encoding the 2d+1 schedule), the statement body rewritten
+under transformations, and attached hardware-optimization annotations
+(paper Fig. 9-2: "attach computation statements and optimization info
+to user/for nodes").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.dsl.compute import Compute
+from repro.dsl.expr import Access, Expr
+from repro.isl.affine import AffineExpr
+from repro.isl.maps import ScheduleMap
+from repro.isl.sets import BasicSet
+
+
+@dataclass(frozen=True)
+class HardwareOpt:
+    """A pipeline or unroll annotation bound to a loop level name."""
+
+    kind: str  # "pipeline" | "unroll"
+    level: str
+    value: int  # target II for pipeline; factor for unroll (0 = complete)
+
+    def __post_init__(self):
+        if self.kind not in ("pipeline", "unroll"):
+            raise ValueError(f"unknown hardware opt {self.kind!r}")
+
+
+@dataclass
+class PolyStatement:
+    """One statement in the polyhedral IR."""
+
+    name: str
+    domain: BasicSet
+    loop_order: List[str]          # dynamic schedule dims, outermost first
+    statics: List[int]             # 2d+1 static dims, length len(loop_order)+1
+    body: Expr                     # RHS expression over current loop dims
+    dest: Access                   # destination access over current loop dims
+    hw_opts: List[HardwareOpt] = field(default_factory=list)
+    source: Optional[Compute] = None
+
+    def __post_init__(self):
+        if len(self.statics) != len(self.loop_order) + 1:
+            raise ValueError(
+                f"{self.name}: need {len(self.loop_order) + 1} static dims, "
+                f"got {len(self.statics)}"
+            )
+        missing = [d for d in self.loop_order if d not in self.domain.dims]
+        if missing:
+            raise ValueError(f"{self.name}: loop dims {missing} not in domain")
+        if len(set(self.loop_order)) != len(self.loop_order):
+            raise ValueError(f"{self.name}: duplicate loop dims {self.loop_order}")
+
+    # -- construction --------------------------------------------------------
+
+    @staticmethod
+    def from_compute(compute: Compute, position: int) -> "PolyStatement":
+        """Extract polyhedral semantics from a compute (Fig. 9-c step 1)."""
+        bounds = compute.domain_bounds()
+        dims = compute.iter_names
+        domain = BasicSet.box({d: bounds[d] for d in dims}, order=dims)
+        return PolyStatement(
+            name=compute.name,
+            domain=domain,
+            loop_order=list(dims),
+            statics=[position] + [0] * len(dims),
+            body=compute.expr,
+            dest=compute.dest,
+            source=compute,
+        )
+
+    # -- schedule view ------------------------------------------------------------
+
+    def schedule_map(self) -> ScheduleMap:
+        """The 2d+1 schedule of this statement."""
+        entries: List = []
+        for static, dim in zip(self.statics, self.loop_order):
+            entries.append(static)
+            entries.append(AffineExpr.var(dim))
+        entries.append(self.statics[-1])
+        return ScheduleMap(tuple(self.domain.dims), entries)
+
+    def depth(self) -> int:
+        return len(self.loop_order)
+
+    def level_of(self, dim: str) -> int:
+        try:
+            return self.loop_order.index(dim)
+        except ValueError:
+            raise KeyError(f"{self.name}: no loop level named {dim!r}") from None
+
+    def loop_extent(self, dim: str) -> Optional[int]:
+        """Constant trip count of a loop dim, if bounds are constant."""
+        lo, hi = self.domain.constant_bounds(dim)
+        if lo is None or hi is None:
+            return None
+        return max(0, hi - lo + 1)
+
+    # -- hardware annotations -------------------------------------------------------
+
+    def add_hw_opt(self, opt: HardwareOpt) -> None:
+        if opt.level not in self.loop_order:
+            raise KeyError(
+                f"{self.name}: cannot attach {opt.kind} to unknown loop {opt.level!r}"
+            )
+        self.hw_opts.append(opt)
+
+    def hw_opts_at(self, level: str) -> List[HardwareOpt]:
+        return [o for o in self.hw_opts if o.level == level]
+
+    def pipelined_level(self) -> Optional[str]:
+        for opt in self.hw_opts:
+            if opt.kind == "pipeline":
+                return opt.level
+        return None
+
+    # -- misc ----------------------------------------------------------------------
+
+    def copy(self) -> "PolyStatement":
+        return replace(
+            self,
+            domain=self.domain,
+            loop_order=list(self.loop_order),
+            statics=list(self.statics),
+            hw_opts=list(self.hw_opts),
+        )
+
+    def accesses(self) -> List[Access]:
+        """All loads plus the store, over current loop dims."""
+        return self.body.loads() + [self.dest]
+
+    def __repr__(self):
+        return (
+            f"PolyStatement({self.name!r}, loops={self.loop_order}, "
+            f"statics={self.statics})"
+        )

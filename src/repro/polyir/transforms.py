@@ -1,0 +1,235 @@
+"""FPGA-oriented loop transformations on the polyhedral IR.
+
+Each transformation is a pure function from a :class:`PolyStatement` to
+a new one, implemented exactly as the paper describes (Section V-B):
+manipulations on integer sets and schedules -- dimension substitution
+for split/tile/skew, schedule permutation for interchange -- plus the
+corresponding rewrite of array indexes and statement bodies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.dsl.expr import Expr, IterRef
+from repro.isl.affine import AffineExpr
+from repro.isl.constraint import Constraint
+from repro.polyir.statement import PolyStatement
+
+
+class TransformError(ValueError):
+    """A scheduling directive could not be applied to a statement."""
+
+
+def _check_fresh(stmt: PolyStatement, names: List[str]) -> None:
+    for name in names:
+        if name in stmt.loop_order or name in stmt.domain.dims:
+            raise TransformError(
+                f"{stmt.name}: new loop name {name!r} already in use"
+            )
+    if len(set(names)) != len(names):
+        raise TransformError(f"{stmt.name}: duplicate new loop names {names}")
+
+
+def _rewrite_body(stmt: PolyStatement, bindings: Dict[str, Expr]):
+    body = stmt.body.substitute_iters(bindings)
+    dest = stmt.dest.substitute_iters(bindings)
+    return body, dest
+
+
+def interchange(stmt: PolyStatement, i: str, j: str) -> PolyStatement:
+    """Swap loop levels ``i`` and ``j`` (a schedule permutation)."""
+    new = stmt.copy()
+    li, lj = new.level_of(i), new.level_of(j)
+    new.loop_order[li], new.loop_order[lj] = new.loop_order[lj], new.loop_order[li]
+    return new
+
+
+def split(stmt: PolyStatement, i: str, factor: int, i0: str, i1: str) -> PolyStatement:
+    """Split loop ``i`` by ``factor``: ``i = factor*i0 + i1``, 0 <= i1 < factor.
+
+    The new iteration domain is computed exactly as in the paper's
+    worked example (Fig. 9): substitute the affine relation into every
+    constraint and add the remainder bounds.
+    """
+    if factor < 2:
+        raise TransformError(f"{stmt.name}: split factor must be >= 2, got {factor}")
+    _check_fresh(stmt, [i0, i1])
+    level = stmt.level_of(i)
+
+    replacement = AffineExpr.var(i0) * factor + AffineExpr.var(i1)
+    new_dims = []
+    for dim in stmt.domain.dims:
+        if dim == i:
+            new_dims.extend([i0, i1])
+        else:
+            new_dims.append(dim)
+    domain = stmt.domain.substitute_dim(
+        i, replacement, new_dims,
+        extra=[Constraint.ge(i1, 0), Constraint.le(i1, factor - 1)],
+    )
+
+    body, dest = _rewrite_body(
+        stmt, {i: IterRef(i0) * factor + IterRef(i1)}
+    )
+
+    new = stmt.copy()
+    new.domain = domain
+    new.loop_order[level:level + 1] = [i0, i1]
+    new.statics.insert(level + 1, 0)
+    new.body = body
+    new.dest = dest
+    new.hw_opts = [o for o in new.hw_opts if o.level != i]
+    return new
+
+
+def tile(
+    stmt: PolyStatement, i: str, j: str, ti: int, tj: int,
+    i0: str, j0: str, i1: str, j1: str,
+) -> PolyStatement:
+    """Tile loops ``(i, j)`` by ``(ti, tj)`` into ``(i0, j0, i1, j1)``.
+
+    Implemented as two splits followed by an interchange of the inner
+    outer-tile loop with the outer intra-tile loop, producing the loop
+    order ``..., i0, j0, i1, j1, ...`` of paper Fig. 6.  A factor of 1
+    on either dimension degenerates to splitting only the other one
+    while keeping the requested naming.
+    """
+    li, lj = stmt.level_of(i), stmt.level_of(j)
+    if lj != li + 1:
+        raise TransformError(
+            f"{stmt.name}: tile requires adjacent loops, got {i!r} at {li} "
+            f"and {j!r} at {lj}"
+        )
+    new = stmt
+    if ti > 1:
+        new = split(new, i, ti, i0, i1)
+    else:
+        new = _rename_loop(new, i, i1)
+        new = _insert_unit_loop(new, i1, i0)
+    if tj > 1:
+        new = split(new, j, tj, j0, j1)
+    else:
+        new = _rename_loop(new, j, j1)
+        new = _insert_unit_loop(new, j1, j0)
+    # Current order: ..., i0, i1, j0, j1, ... -> interchange i1 and j0.
+    return interchange(new, i1, j0)
+
+
+def _rename_loop(stmt: PolyStatement, old: str, new_name: str) -> PolyStatement:
+    _check_fresh(stmt, [new_name])
+    new = stmt.copy()
+    new.domain = new.domain.rename_dims({old: new_name})
+    new.loop_order = [new_name if d == old else d for d in new.loop_order]
+    new.body = new.body.substitute_iters({old: IterRef(new_name)})
+    new.dest = new.dest.substitute_iters({old: IterRef(new_name)})
+    new.hw_opts = [o for o in new.hw_opts if o.level != old]
+    return new
+
+
+def _insert_unit_loop(stmt: PolyStatement, before: str, name: str) -> PolyStatement:
+    """Insert a trip-count-1 loop ``name`` immediately before ``before``."""
+    _check_fresh(stmt, [name])
+    level = stmt.level_of(before)
+    new = stmt.copy()
+    new.domain = new.domain.add_dims([name]).with_constraints(
+        [Constraint.eq(name, 0)]
+    )
+    new.loop_order.insert(level, name)
+    new.statics.insert(level + 1, 0)
+    return new
+
+
+def reverse(stmt: PolyStatement, dim: str, new_dim: str) -> PolyStatement:
+    """Reverse loop ``dim``: iterate ``new_dim = lo + hi - dim``.
+
+    A unimodular transformation; legal only when no dependence is
+    carried by ``dim`` (the DSE checks legality before applying it).
+    """
+    _check_fresh(stmt, [new_dim])
+    lo, hi = stmt.domain.constant_bounds(dim)
+    if lo is None or hi is None:
+        raise TransformError(f"{stmt.name}: loop {dim!r} needs constant bounds to reverse")
+    level = stmt.level_of(dim)
+    total = lo + hi
+
+    replacement = AffineExpr.const(total) - AffineExpr.var(new_dim)
+    new_dims = [new_dim if d == dim else d for d in stmt.domain.dims]
+    domain = stmt.domain.substitute_dim(dim, replacement, new_dims)
+    body, dest = _rewrite_body(stmt, {dim: IterRef(new_dim) * (-1) + total})
+
+    new = stmt.copy()
+    new.domain = domain
+    new.loop_order[level] = new_dim
+    new.body = body
+    new.dest = dest
+    new.hw_opts = [o for o in new.hw_opts if o.level != dim]
+    return new
+
+
+def shift(stmt: PolyStatement, dim: str, offset: int, new_dim: str) -> PolyStatement:
+    """Shift loop ``dim`` by ``offset``: ``new_dim = dim + offset``.
+
+    Pure iteration-space translation (never changes execution order);
+    useful for aligning domains before fusion.
+    """
+    if offset == 0:
+        raise TransformError(f"{stmt.name}: shift offset must be non-zero")
+    _check_fresh(stmt, [new_dim])
+    level = stmt.level_of(dim)
+
+    replacement = AffineExpr.var(new_dim) - offset
+    new_dims = [new_dim if d == dim else d for d in stmt.domain.dims]
+    domain = stmt.domain.substitute_dim(dim, replacement, new_dims)
+    body, dest = _rewrite_body(stmt, {dim: IterRef(new_dim) - offset})
+
+    new = stmt.copy()
+    new.domain = domain
+    new.loop_order[level] = new_dim
+    new.body = body
+    new.dest = dest
+    new.hw_opts = [o for o in new.hw_opts if o.level != dim]
+    return new
+
+
+def skew(
+    stmt: PolyStatement, i: str, j: str, factor: int, ip: str, jp: str
+) -> PolyStatement:
+    """Skew loop ``j`` by ``factor * i``: ``ip = i``, ``jp = j + factor*i``.
+
+    A unimodular transformation that rotates the dependence cone so a
+    previously-carried dimension becomes parallel (the legalization the
+    paper applies to Seidel-style stencils).  The loop order keeps the
+    positions of ``i`` and ``j``.
+    """
+    if factor == 0:
+        raise TransformError(f"{stmt.name}: skew factor must be non-zero")
+    _check_fresh(stmt, [ip, jp])
+    li, lj = stmt.level_of(i), stmt.level_of(j)
+
+    # j = jp - factor*ip ; i = ip
+    new_dims = []
+    for dim in stmt.domain.dims:
+        if dim == i:
+            new_dims.append(ip)
+        elif dim == j:
+            new_dims.append(jp)
+        else:
+            new_dims.append(dim)
+    domain = stmt.domain.rename_dims({i: ip})
+    domain = domain.substitute_dim(
+        j, AffineExpr.var(jp) - AffineExpr.var(ip) * factor, new_dims
+    )
+
+    body, dest = _rewrite_body(
+        stmt, {i: IterRef(ip), j: IterRef(jp) - IterRef(ip) * factor}
+    )
+
+    new = stmt.copy()
+    new.domain = domain
+    new.loop_order[li] = ip
+    new.loop_order[lj] = jp
+    new.body = body
+    new.dest = dest
+    new.hw_opts = [o for o in new.hw_opts if o.level not in (i, j)]
+    return new

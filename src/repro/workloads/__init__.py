@@ -1,0 +1,19 @@
+"""Benchmark workloads from the paper's evaluation, in the POM DSL.
+
+* :mod:`repro.workloads.polybench` -- GEMM/BICG/GESUMMV/2MM/3MM (Table III).
+* :mod:`repro.workloads.stencils` -- Jacobi-1d/2d, Heat-1d, Seidel (Table VII).
+* :mod:`repro.workloads.image` -- EdgeDetect/Gaussian/Blur (Tables V-VI).
+* :mod:`repro.workloads.dnn` -- VGG-16 / ResNet-18 critical loops (Fig. 13).
+"""
+
+from repro.workloads import dnn, image, polybench, polybench_extra, stencils
+
+ALL_SUITES = {
+    "polybench": polybench.SUITE,
+    "polybench-extra": polybench_extra.EXTRA_SUITE,
+    "stencils": stencils.SUITE,
+    "image": image.SUITE,
+    "dnn": dnn.SUITE,
+}
+
+__all__ = ["polybench", "polybench_extra", "stencils", "image", "dnn", "ALL_SUITES"]

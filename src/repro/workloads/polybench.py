@@ -1,0 +1,104 @@
+"""Polybench kernels used in the paper's evaluation (Table III, Fig. 12).
+
+GEMM, BICG, GESUMMV, 2MM, and 3MM, written in the POM DSL.  Each
+factory returns a fresh :class:`~repro.dsl.function.Function`; the
+``baseline`` flag reproduces the original C loop structure (statements
+sharing one nest where the reference code does), which is what the
+paper's "unoptimized baseline" latency is measured on.
+"""
+
+from __future__ import annotations
+
+from repro.dsl import Function, compute, p_float32, placeholder, var
+
+
+def gemm(n: int = 32, baseline: bool = False) -> Function:
+    """C += alpha * A x B (polybench gemm simplified to the paper's form)."""
+    with Function("gemm") as f:
+        i = var("i", 0, n)
+        j = var("j", 0, n)
+        k = var("k", 0, n)
+        A = placeholder("A", (n, n), p_float32)
+        B = placeholder("B", (n, n), p_float32)
+        C = placeholder("C", (n, n), p_float32)
+        compute("s", [k, i, j], A(i, j) + B(i, k) * C(k, j), A(i, j))
+    return f
+
+
+def bicg(n: int = 32, baseline: bool = False) -> Function:
+    """BiCG sub-kernel: q = A p and s = A^T r (paper Fig. 2a)."""
+    with Function("bicg") as f:
+        i = var("i", 0, n)
+        j = var("j", 0, n)
+        A = placeholder("A", (n, n), p_float32)
+        p = placeholder("p", (n,), p_float32)
+        q = placeholder("q", (n,), p_float32)
+        r = placeholder("r", (n,), p_float32)
+        s = placeholder("s", (n,), p_float32)
+        Sq = compute("Sq", [i, j], q(i) + A(i, j) * p(j), q(i))
+        Ss = compute("Ss", [i, j], s(j) + r(i) * A(i, j), s(j))
+    if baseline:
+        Ss.after(Sq, "j")  # the original C keeps both statements in one nest
+    return f
+
+
+def gesummv(n: int = 32, baseline: bool = False) -> Function:
+    """y = alpha*A*x + beta*B*x."""
+    with Function("gesummv") as f:
+        i = var("i", 0, n)
+        j = var("j", 0, n)
+        A = placeholder("A", (n, n), p_float32)
+        B = placeholder("B", (n, n), p_float32)
+        x = placeholder("x", (n,), p_float32)
+        tmp = placeholder("tmp", (n,), p_float32)
+        y = placeholder("y", (n,), p_float32)
+        St = compute("St", [i, j], tmp(i) + A(i, j) * x(j), tmp(i))
+        Sy = compute("Sy", [i, j], y(i) + B(i, j) * x(j), y(i))
+        Sf = compute("Sf", [i], tmp(i) * 1.5 + y(i) * 1.2, y(i))
+    if baseline:
+        Sy.after(St, "j")
+    return f
+
+
+def mm2(n: int = 32, baseline: bool = False) -> Function:
+    """2MM: D = A x B x C (two chained matrix products)."""
+    with Function("mm2") as f:
+        i = var("i", 0, n)
+        j = var("j", 0, n)
+        k = var("k", 0, n)
+        A = placeholder("A", (n, n), p_float32)
+        B = placeholder("B", (n, n), p_float32)
+        C = placeholder("C", (n, n), p_float32)
+        tmp = placeholder("tmp", (n, n), p_float32)
+        D = placeholder("D", (n, n), p_float32)
+        compute("S1", [k, i, j], tmp(i, j) + A(i, k) * B(k, j), tmp(i, j))
+        compute("S2", [k, i, j], D(i, j) + tmp(i, k) * C(k, j), D(i, j))
+    return f
+
+
+def mm3(n: int = 32, baseline: bool = False) -> Function:
+    """3MM: G = (A x B) x (C x D)."""
+    with Function("mm3") as f:
+        i = var("i", 0, n)
+        j = var("j", 0, n)
+        k = var("k", 0, n)
+        A = placeholder("A", (n, n), p_float32)
+        B = placeholder("B", (n, n), p_float32)
+        C = placeholder("C", (n, n), p_float32)
+        D = placeholder("D", (n, n), p_float32)
+        E = placeholder("E", (n, n), p_float32)
+        F = placeholder("F", (n, n), p_float32)
+        G = placeholder("G", (n, n), p_float32)
+        compute("S1", [k, i, j], E(i, j) + A(i, k) * B(k, j), E(i, j))
+        compute("S2", [k, i, j], F(i, j) + C(i, k) * D(k, j), F(i, j))
+        compute("S3", [k, i, j], G(i, j) + E(i, k) * F(k, j), G(i, j))
+    return f
+
+
+SUITE = {
+    "gemm": gemm,
+    "bicg": bicg,
+    "gesummv": gesummv,
+    "2mm": mm2,
+    "3mm": mm3,
+}

@@ -1,0 +1,118 @@
+"""Additional Polybench-style kernels beyond the paper's headline five.
+
+The paper positions POM as applicable "to multiple domains" (Table I,
+generality row); these kernels exercise access patterns the headline
+suite does not -- transposed reductions (ATAX/MVT), rank-k updates with
+triangular-friendly structure (SYRK), batched tensor contraction
+(DOITGEN), and a direct 2-D convolution -- and are used by the extended
+tests to stress the DSE beyond the paper's benchmark list.
+"""
+
+from __future__ import annotations
+
+from repro.dsl import Function, compute, p_float32, placeholder, var
+
+
+def atax(n: int = 32, baseline: bool = False) -> Function:
+    """y = A^T (A x): two chained matrix-vector products."""
+    with Function("atax") as f:
+        i = var("i", 0, n)
+        j = var("j", 0, n)
+        A = placeholder("A", (n, n), p_float32)
+        x = placeholder("x", (n,), p_float32)
+        tmp = placeholder("tmp", (n,), p_float32)
+        y = placeholder("y", (n,), p_float32)
+        compute("St", [i, j], tmp(i) + A(i, j) * x(j), tmp(i))
+        compute("Sy", [i, j], y(j) + A(i, j) * tmp(i), y(j))
+    return f
+
+
+def mvt(n: int = 32, baseline: bool = False) -> Function:
+    """x1 += A y1 and x2 += A^T y2 (the BICG pattern, unfused source)."""
+    with Function("mvt") as f:
+        i = var("i", 0, n)
+        j = var("j", 0, n)
+        A = placeholder("A", (n, n), p_float32)
+        x1 = placeholder("x1", (n,), p_float32)
+        x2 = placeholder("x2", (n,), p_float32)
+        y1 = placeholder("y1", (n,), p_float32)
+        y2 = placeholder("y2", (n,), p_float32)
+        S1 = compute("S1", [i, j], x1(i) + A(i, j) * y1(j), x1(i))
+        S2 = compute("S2", [i, j], x2(i) + A(j, i) * y2(j), x2(i))
+    if baseline:
+        S2.after(S1, "j")
+    return f
+
+
+def syrk(n: int = 32, baseline: bool = False) -> Function:
+    """C = C + A A^T (symmetric rank-k update, full matrix form)."""
+    with Function("syrk") as f:
+        i = var("i", 0, n)
+        j = var("j", 0, n)
+        k = var("k", 0, n)
+        A = placeholder("A", (n, n), p_float32)
+        C = placeholder("C", (n, n), p_float32)
+        compute("S", [k, i, j], C(i, j) + A(i, k) * A(j, k), C(i, j))
+    return f
+
+
+def doitgen(nr: int = 8, nq: int = 8, np_: int = 8, baseline: bool = False) -> Function:
+    """Batched tensor contraction: sum[r][q][p] = Σ_s a[r][q][s] c4[s][p]."""
+    with Function("doitgen") as f:
+        r = var("r", 0, nr)
+        q = var("q", 0, nq)
+        p = var("p", 0, np_)
+        s = var("s", 0, np_)
+        a = placeholder("a", (nr, nq, np_), p_float32)
+        c4 = placeholder("c4", (np_, np_), p_float32)
+        acc = placeholder("acc", (nr, nq, np_), p_float32)
+        compute("S", [r, q, p, s], acc(r, q, p) + a(r, q, s) * c4(s, p), acc(r, q, p))
+    return f
+
+
+def conv2d(n: int = 32, k: int = 3, baseline: bool = False) -> Function:
+    """Direct single-channel 2-D convolution (valid padding)."""
+    out_extent = n - k + 1
+    with Function("conv2d") as f:
+        i = var("i", 0, out_extent)
+        j = var("j", 0, out_extent)
+        r = var("r", 0, k)
+        c = var("c", 0, k)
+        img = placeholder("img", (n, n), p_float32)
+        kern = placeholder("kern", (k, k), p_float32)
+        out = placeholder("out", (out_extent, out_extent), p_float32)
+        compute(
+            "S", [i, j, r, c],
+            out(i, j) + img(i + r, j + c) * kern(r, c),
+            out(i, j),
+        )
+    return f
+
+
+def trisolv(n: int = 32, baseline: bool = False) -> Function:
+    """Forward substitution x[i] = (b[i] - Σ_{j<i} L[i][j] x[j]) / L[i][i].
+
+    Written as the accumulating inner loop over a triangular domain via
+    a guard-friendly rectangular declaration; the serial outer recurrence
+    makes it a worst case for pipelining -- a stress test for the
+    dependence analysis, not a speedup showcase.
+    """
+    with Function("trisolv") as f:
+        i = var("i", 0, n)
+        j = var("j", 0, n)
+        L = placeholder("L", (n, n), p_float32)
+        x = placeholder("x", (n,), p_float32)
+        # x[i] -= L[i][j] * x[j] for all j (upper part multiplied by the
+        # zero entries of L, keeping the domain rectangular/affine).
+        compute("S", [i, j], x(i) - L(i, j) * x(j), x(i))
+    return f
+
+
+EXTRA_SUITE = {
+    "atax": atax,
+    "mvt": mvt,
+    "syrk": syrk,
+    "doitgen": doitgen,
+    "conv2d": conv2d,
+    "trisolv": trisolv,
+}

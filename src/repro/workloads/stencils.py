@@ -1,0 +1,97 @@
+"""Stencil benchmarks with complicated access patterns (Table VII).
+
+Jacobi-1d, Jacobi-2d, Heat-1d, and Seidel -- the workloads the paper
+uses to show that only POM (via loop skewing) can relieve their tight
+loop-carried dependences.  Seidel is the in-place Gauss-Seidel stencil
+whose dependence distance exceeds one, the case PolySA/AutoSA degrade
+on (Section II-C).
+"""
+
+from __future__ import annotations
+
+from repro.dsl import Function, compute, p_float32, placeholder, var
+
+
+def jacobi_1d(n: int = 32, steps: int = 16) -> Function:
+    """Jacobi-1d with ping-pong buffers over ``steps`` time iterations.
+
+    This is the paper's Fig. 16 case study: two computes related by
+    ``after`` at the time loop.
+    """
+    with Function("jacobi_1d") as f:
+        t = var("t", 0, steps)
+        i = var("i", 1, n - 1)
+        A = placeholder("A", (n,), p_float32)
+        B = placeholder("B", (n,), p_float32)
+        s1 = compute(
+            "S1", [t, i], (A(i - 1) + A(i) + A(i + 1)) * 0.33333, B(i)
+        )
+        s2 = compute(
+            "S2", [t, i], (B(i - 1) + B(i) + B(i + 1)) * 0.33333, A(i)
+        )
+    s2.after(s1, t)
+    return f
+
+
+def jacobi_2d(n: int = 16, steps: int = 8) -> Function:
+    """Jacobi-2d five-point stencil with ping-pong buffers."""
+    with Function("jacobi_2d") as f:
+        t = var("t", 0, steps)
+        i = var("i", 1, n - 1)
+        j = var("j", 1, n - 1)
+        A = placeholder("A", (n, n), p_float32)
+        B = placeholder("B", (n, n), p_float32)
+        s1 = compute(
+            "S1", [t, i, j],
+            (A(i, j) + A(i - 1, j) + A(i + 1, j) + A(i, j - 1) + A(i, j + 1)) * 0.2,
+            B(i, j),
+        )
+        s2 = compute(
+            "S2", [t, i, j],
+            (B(i, j) + B(i - 1, j) + B(i + 1, j) + B(i, j - 1) + B(i, j + 1)) * 0.2,
+            A(i, j),
+        )
+    s2.after(s1, t)
+    return f
+
+
+def heat_1d(n: int = 32, steps: int = 16) -> Function:
+    """Heat-1d explicit finite difference, in-place over time (tight deps)."""
+    with Function("heat_1d") as f:
+        t = var("t", 0, steps)
+        i = var("i", 1, n - 1)
+        A = placeholder("A", (n,), p_float32)
+        compute(
+            "S", [t, i],
+            A(i) + (A(i + 1) - A(i) * 2.0 + A(i - 1)) * 0.125,
+            A(i),
+        )
+    return f
+
+
+def seidel(n: int = 16, steps: int = 4) -> Function:
+    """Seidel-2d: in-place sweep with dependence distances > 1.
+
+    Every sweep reads the *current* sweep's updated west/north
+    neighbours and the previous sweep's east/south ones -- the tight
+    pattern that defeats interchange alone and requires skewing.
+    """
+    with Function("seidel") as f:
+        t = var("t", 0, steps)
+        i = var("i", 1, n - 1)
+        j = var("j", 1, n - 1)
+        A = placeholder("A", (n, n), p_float32)
+        compute(
+            "S", [t, i, j],
+            (A(i - 1, j) + A(i + 1, j) + A(i, j - 1) + A(i, j + 1) + A(i, j)) * 0.2,
+            A(i, j),
+        )
+    return f
+
+
+SUITE = {
+    "jacobi-1d": jacobi_1d,
+    "jacobi-2d": jacobi_2d,
+    "heat-1d": heat_1d,
+    "seidel": seidel,
+}

@@ -1,0 +1,152 @@
+"""Round-trip tests: print_func -> parse_func -> identical behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.affine import interpret, print_func
+from repro.affine.parser import ParseError, parse_func
+from repro.pipeline import lower_to_affine
+from repro.workloads import image, polybench, stencils
+
+
+def roundtrip(function):
+    """Parse the printed form and check text + behavioural equivalence."""
+    original = lower_to_affine(function)
+    text = print_func(original)
+    reparsed = parse_func(text)
+    assert print_func(reparsed) == text  # textual fixed point
+
+    arrays = function.allocate_arrays(seed=23)
+    want = {k: v.copy() for k, v in arrays.items()}
+    interpret(original, want)
+    got = {k: v.copy() for k, v in arrays.items()}
+    interpret(reparsed, got)
+    for name in arrays:
+        np.testing.assert_array_equal(got[name], want[name], err_msg=name)
+    return reparsed
+
+
+class TestRoundTrip:
+    def test_plain_gemm(self):
+        roundtrip(polybench.gemm(8))
+
+    def test_scheduled_gemm(self):
+        f = polybench.gemm(16)
+        s = f.get_compute("s")
+        s.tile("i", "j", 4, 4, "i0", "j0", "i1", "j1")
+        s.pipeline("j0", 1)
+        s.unroll("j1", 0)
+        for p in f.placeholders():
+            p.partition([4, 4], "cyclic")
+        func = roundtrip(f)
+        loops = {l.iterator: l for l in func.loops()}
+        assert loops["j0"].attributes["pipeline"] == 1
+        assert loops["j1"].attributes["unroll"] == 0
+        assert func.attributes["partitions"]["A"].factors == (4, 4)
+
+    def test_dse_bicg(self):
+        f = polybench.bicg(32)
+        f.auto_DSE()
+        roundtrip(f)
+
+    def test_skewed_stencil_bounds(self):
+        """Triangular (max/min, ceildiv/floordiv) bounds survive parsing."""
+        f = stencils.seidel(8, steps=2)
+        f.auto_DSE()
+        func = roundtrip(f)
+        assert any(
+            len(l.lowers) > 1 or len(l.uppers) > 1
+            or any(b.divisor > 1 for b in l.lowers + l.uppers)
+            for l in func.loops()
+        )
+
+    def test_guarded_fusion(self):
+        from repro.dsl import Function, compute, placeholder, var
+
+        with Function("g") as f:
+            i = var("i", 0, 8)
+            j = var("j", 0, 4)
+            A = placeholder("A", (8,))
+            B = placeholder("B", (4,))
+            sa = compute("sa", [i], A(i) * 2.0, A(i))
+            sb = compute("sb", [j], B(j) + 1.0, B(j))
+        sb.after(sa, "i")
+        roundtrip(f)
+
+    def test_multi_statement_image_app(self):
+        roundtrip(image.blur(8))
+
+    def test_intrinsics_and_constants(self):
+        from repro.dsl import Function, compute, placeholder, var
+        from repro.dsl.expr import Call
+
+        with Function("c") as f:
+            i = var("i", 0, 8)
+            A = placeholder("A", (8,))
+            compute("s", [i], Call("max", [A(i) * 0.5, 0.0]), A(i))
+        roundtrip(f)
+
+    def test_parsed_arrays_reconstructed(self):
+        func = parse_func(print_func(lower_to_affine(polybench.gemm(8))))
+        assert [a.name for a in func.arrays] == ["A", "B", "C"]
+        assert func.arrays[0].shape == (8, 8)
+        assert func.arrays[0].dtype.name == "float32"
+
+
+class TestErrors:
+    def test_empty_input(self):
+        with pytest.raises(ParseError):
+            parse_func("")
+
+    def test_bad_header(self):
+        with pytest.raises(ParseError):
+            parse_func("function gemm() {\n}")
+
+    def test_unbalanced(self):
+        text = print_func(lower_to_affine(polybench.gemm(4)))
+        with pytest.raises(ParseError):
+            parse_func(text.rsplit("}", 1)[0])
+
+    def test_undeclared_array(self):
+        text = (
+            "func.func @f(%A: memref<4xfloat32>) {\n"
+            "  affine.store 1.0, %B[0]\n"
+            "}"
+        )
+        with pytest.raises(ParseError):
+            parse_func(text)
+
+    def test_garbage_line(self):
+        text = (
+            "func.func @f(%A: memref<4xfloat32>) {\n"
+            "  vector.splat %A\n"
+            "}"
+        )
+        with pytest.raises(ParseError):
+            parse_func(text)
+
+
+class TestParserFuzz:
+    """Property: print -> parse -> print is a fixed point under random
+    schedules (reusing the random-schedule strategy of the integration
+    suite)."""
+
+    def test_random_schedules_roundtrip(self):
+        from hypothesis import given, settings
+
+        from tests.integration.test_property_schedules import (
+            apply_ops,
+            make_elementwise,
+            schedules,
+        )
+
+        @given(schedules(["i", "j"]))
+        @settings(max_examples=30, deadline=None)
+        def check(ops):
+            f, s = make_elementwise()
+            apply_ops(s, ops)
+            func = lower_to_affine(f)
+            text = print_func(func)
+            assert print_func(parse_func(text)) == text
+
+        check()

@@ -1,0 +1,216 @@
+"""Unit tests for the affine pass infrastructure and canonicalization."""
+
+import numpy as np
+import pytest
+
+from repro.dsl import Function, compute, placeholder, var
+from repro.affine import interpret
+from repro.affine.ir import AffineForOp, AffineIfOp, AffineStoreOp, ConstantOp, FuncOp
+from repro.affine.passes import (
+    DropDeadAnnotations,
+    DropEmptyLoops,
+    FoldConstantGuards,
+    Pass,
+    PassError,
+    PassManager,
+    PromoteTripOneLoops,
+    VerifyStructure,
+    canonicalize,
+    default_pipeline,
+)
+from repro.isl.constraint import Constraint
+from repro.isl.sets import LoopBound
+from repro.isl.affine import AffineExpr
+from repro.pipeline import lower_to_affine
+from repro.workloads import polybench
+
+e = AffineExpr
+
+
+def unit_tiled_gemm():
+    """GEMM tiled with unit factors: produces trip-1 loops to clean up."""
+    f = polybench.gemm(8)
+    f.get_compute("s").tile("i", "j", 1, 4, "i0", "j0", "i1", "j1")
+    return f, lower_to_affine(f)
+
+
+class TestPromoteTripOneLoops:
+    def test_unit_tile_loops_promoted(self):
+        f, func = unit_tiled_gemm()
+        before = [l.iterator for l in func.loops()]
+        assert "i0" in before  # trip-1 outer tile loop
+        changed = PromoteTripOneLoops().run(func)
+        assert changed
+        after = [l.iterator for l in func.loops()]
+        assert "i0" not in after
+        assert "j0" in after  # trip-4 loop survives
+
+    def test_promotion_preserves_semantics(self):
+        f, func = unit_tiled_gemm()
+        arrays = f.allocate_arrays(seed=3)
+        want = {k: v.copy() for k, v in arrays.items()}
+        interpret(func, want)
+        canonicalize(func)
+        got = f.allocate_arrays(seed=3)
+        interpret(func, got)
+        assert np.array_equal(got["A"], want["A"])
+
+    def test_no_change_when_canonical(self):
+        f = polybench.gemm(8)
+        func = lower_to_affine(f)
+        assert not PromoteTripOneLoops().run(func)
+
+
+class TestFoldConstantGuards:
+    def _func_with_guard(self, conditions):
+        f = polybench.gemm(4)
+        func = lower_to_affine(f)
+        innermost = func.loops()[-1]
+        guard = AffineIfOp(conditions, None)
+        guard.body.ops.extend(innermost.body.ops)
+        innermost.body.ops[:] = [guard]
+        return func
+
+    def test_tautology_removed(self):
+        func = self._func_with_guard([Constraint.ge(1, 0)])
+        assert FoldConstantGuards().run(func)
+        assert not [op for op in func.walk() if isinstance(op, AffineIfOp)]
+        assert func.stores()
+
+    def test_contradiction_deletes_region(self):
+        func = self._func_with_guard([Constraint.ge(-1, 0)])
+        assert FoldConstantGuards().run(func)
+        assert not func.stores()
+
+    def test_live_guard_kept(self):
+        func = self._func_with_guard([Constraint.ge("j", 2)])
+        FoldConstantGuards().run(func)
+        guards = [op for op in func.walk() if isinstance(op, AffineIfOp)]
+        assert len(guards) == 1
+
+    def test_mixed_conditions_pruned(self):
+        func = self._func_with_guard([Constraint.ge(1, 0), Constraint.ge("j", 2)])
+        assert FoldConstantGuards().run(func)
+        (guard,) = [op for op in func.walk() if isinstance(op, AffineIfOp)]
+        assert len(guard.conditions) == 1
+
+
+class TestDropEmptyLoops:
+    def test_empty_loop_removed(self):
+        f = polybench.gemm(4)
+        func = lower_to_affine(f)
+        empty = AffineForOp(
+            "z",
+            [LoopBound(e.const(0), 1, True)],
+            [LoopBound(e.const(3), 1, False)],
+        )
+        func.body.append(empty)
+        assert DropEmptyLoops().run(func)
+        assert all(l.iterator != "z" for l in func.loops())
+
+    def test_zero_trip_loop_removed(self):
+        f = polybench.gemm(4)
+        func = lower_to_affine(f)
+        dead = AffineForOp(
+            "z",
+            [LoopBound(e.const(5), 1, True)],
+            [LoopBound(e.const(3), 1, False)],
+        )
+        dead.body.append(AffineStoreOp(func.arrays[0], [e.const(0), e.const(0)], ConstantOp(0.0)))
+        func.body.append(dead)
+        assert DropEmptyLoops().run(func)
+        assert all(l.iterator != "z" for l in func.loops())
+
+
+class TestDropDeadAnnotations:
+    def test_unroll_on_trip_one_loop_removed(self):
+        f = polybench.gemm(8)
+        f.get_compute("s").tile("i", "j", 1, 4, "i0", "j0", "i1", "j1")
+        f.get_compute("s").unroll("i0", 2)  # i0 is the unit tile loop
+        func = lower_to_affine(f)
+        i0 = next(l for l in func.loops() if l.iterator == "i0")
+        assert "unroll" in i0.attributes
+        assert DropDeadAnnotations().run(func)
+        assert "unroll" not in i0.attributes
+
+
+class TestVerifier:
+    def test_valid_program_passes(self):
+        f = polybench.gemm(8)
+        VerifyStructure().run(lower_to_affine(f))
+
+    def test_shadowed_iterator_rejected(self):
+        f = polybench.gemm(4)
+        func = lower_to_affine(f)
+        outer = func.loops()[0]
+        clone = AffineForOp(outer.iterator, outer.lowers, outer.uppers)
+        clone.body.ops.extend(outer.body.ops)
+        outer.body.ops[:] = [clone]
+        with pytest.raises(PassError):
+            VerifyStructure().run(func)
+
+    def test_unknown_iterator_rejected(self):
+        f = polybench.gemm(4)
+        func = lower_to_affine(f)
+        store = func.stores()[0]
+        store.indices[0] = e.var("ghost")
+        with pytest.raises(PassError):
+            VerifyStructure().run(func)
+
+    def test_bad_pipeline_attribute_rejected(self):
+        f = polybench.gemm(4)
+        func = lower_to_affine(f)
+        func.loops()[0].attributes["pipeline"] = 0
+        with pytest.raises(PassError):
+            VerifyStructure().run(func)
+
+
+class TestPassManager:
+    def test_fixed_point_iterates(self):
+        """Promoting a trip-1 loop can expose another foldable pattern."""
+        f, func = unit_tiled_gemm()
+        manager = default_pipeline()
+        assert manager.run(func, to_fixed_point=True)
+        assert not manager.run(func, to_fixed_point=True)  # already canonical
+
+    def test_add_chains(self):
+        manager = PassManager().add(FoldConstantGuards()).add(DropEmptyLoops())
+        assert len(manager.passes) == 2
+
+    def test_custom_pass(self):
+        class CountLoops(Pass):
+            name = "count"
+
+            def __init__(self):
+                self.count = 0
+
+            def run(self, func):
+                self.count = len(func.loops())
+                return False
+
+        counter = CountLoops()
+        f = polybench.gemm(4)
+        PassManager([counter]).run(lower_to_affine(f))
+        assert counter.count == 3
+
+    def test_canonicalize_runs_verifier(self):
+        f = polybench.gemm(4)
+        func = lower_to_affine(f)
+        func.stores()[0].indices[0] = e.var("ghost")
+        with pytest.raises(PassError):
+            canonicalize(func)
+
+
+class TestCanonicalizeEndToEnd:
+    def test_dse_output_canonicalizes_cleanly(self):
+        f = polybench.bicg(32)
+        f.auto_DSE()
+        func = lower_to_affine(f)
+        arrays = f.allocate_arrays(seed=9)
+        want = {k: v.copy() for k, v in arrays.items()}
+        interpret(func, want)
+        canonicalize(func)
+        got = f.allocate_arrays(seed=9)
+        interpret(func, got)
+        for name in got:
+            assert np.array_equal(got[name], want[name]), name

@@ -1,0 +1,40 @@
+"""Unit tests for the DOT export of the dependence graph."""
+
+from repro.depgraph import build_dependence_graph
+from repro.depgraph.dot import to_dot, write_dot
+from repro.workloads import image, polybench
+
+
+class TestToDot:
+    def test_nodes_and_edges_present(self):
+        graph = build_dependence_graph(image.edge_detect(16))
+        dot = to_dot(graph)
+        for node in ("Ssm", "Sgx", "Sgy", "Smag"):
+            assert f'"{node}"' in dot
+        assert '"Ssm" -> "Sgx" [label="smooth"]' in dot
+        assert '"Sgy" -> "Smag" [label="gy"]' in dot
+
+    def test_analysis_in_labels(self):
+        graph = build_dependence_graph(polybench.gemm(8))
+        dot = to_dot(graph)
+        assert "reduction: k" in dot
+        assert "carried RAW: k" in dot
+
+    def test_no_analysis_mode(self):
+        graph = build_dependence_graph(polybench.gemm(8), analyze=False)
+        dot = to_dot(graph, include_analysis=False)
+        assert "reduction" not in dot
+        assert '"s"' in dot
+
+    def test_well_formed(self):
+        graph = build_dependence_graph(polybench.mm3(8))
+        dot = to_dot(graph)
+        assert dot.startswith('digraph "mm3" {')
+        assert dot.endswith("}")
+        assert dot.count("->") == len(graph.edges)
+
+    def test_write_dot(self, tmp_path):
+        graph = build_dependence_graph(polybench.bicg(8))
+        path = tmp_path / "graph.dot"
+        write_dot(graph, str(path))
+        assert path.read_text().startswith('digraph "bicg"')

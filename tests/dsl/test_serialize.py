@@ -1,0 +1,131 @@
+"""Unit tests for schedule serialization (save / re-apply)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.dsl.serialize import (
+    ScheduleFormatError,
+    load_schedule,
+    save_schedule,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+from repro.pipeline import estimate
+from repro.workloads import polybench, stencils
+
+
+class TestRoundTrip:
+    def test_dse_schedule_roundtrips(self):
+        searched = polybench.bicg(64)
+        result = searched.auto_DSE()
+        data = schedule_to_dict(searched)
+
+        fresh = polybench.bicg(64)
+        schedule_from_dict(fresh, data)
+        assert estimate(fresh).total_cycles == result.report.total_cycles
+
+    def test_json_serializable(self):
+        f = polybench.gemm(32)
+        f.auto_DSE()
+        text = json.dumps(schedule_to_dict(f))
+        data = json.loads(text)
+        fresh = polybench.gemm(32)
+        schedule_from_dict(fresh, data)
+        assert len(fresh.schedule) == len(f.schedule)
+
+    def test_partitions_roundtrip(self):
+        f = polybench.gemm(32)
+        f.placeholders()[0].partition([4, 8], "cyclic")
+        data = schedule_to_dict(f)
+        fresh = polybench.gemm(32)
+        schedule_from_dict(fresh, data)
+        scheme = fresh.placeholders()[0].partition_scheme
+        assert scheme.factors == (4, 8)
+        assert scheme.kind == "cyclic"
+
+    def test_structural_after_roundtrips(self):
+        f = stencils.jacobi_1d(32, steps=4)
+        data = schedule_to_dict(f)
+        fresh = stencils.jacobi_1d(32, steps=4)
+        fresh.reset_schedule()
+        schedule_from_dict(fresh, data)
+        assert len(fresh.structural_directives()) == 1
+
+    def test_file_io(self, tmp_path):
+        f = polybench.gemm(32)
+        f.auto_DSE()
+        path = tmp_path / "schedule.json"
+        save_schedule(f, str(path))
+        fresh = polybench.gemm(32)
+        load_schedule(fresh, str(path))
+        assert estimate(fresh).total_cycles == estimate(f).total_cycles
+
+    def test_semantics_preserved_after_reload(self):
+        from repro.affine import interpret
+        from repro.pipeline import lower_to_affine
+
+        searched = polybench.bicg(16)
+        searched.auto_DSE()
+        data = schedule_to_dict(searched)
+        fresh = polybench.bicg(16)
+        schedule_from_dict(fresh, data)
+
+        expected = fresh.allocate_arrays(seed=4)
+        polybench.bicg(16).reference_execute(expected)
+        got = fresh.allocate_arrays(seed=4)
+        interpret(lower_to_affine(fresh), got)
+        for name in expected:
+            np.testing.assert_allclose(got[name], expected[name], rtol=1e-3)
+
+
+class TestValidation:
+    def test_missing_directives_key(self):
+        with pytest.raises(ScheduleFormatError):
+            schedule_from_dict(polybench.gemm(8), {})
+
+    def test_unknown_directive_kind(self):
+        data = {"directives": [{"kind": "Vectorize", "compute_name": "s"}]}
+        with pytest.raises(ScheduleFormatError):
+            schedule_from_dict(polybench.gemm(8), data)
+
+    def test_unknown_compute_rejected(self):
+        data = {
+            "directives": [
+                {"kind": "Pipeline", "compute_name": "zzz", "level": "i", "ii": 1}
+            ]
+        }
+        with pytest.raises(ScheduleFormatError):
+            schedule_from_dict(polybench.gemm(8), data)
+
+    def test_unknown_array_rejected(self):
+        data = {
+            "directives": [],
+            "partitions": {"ZZZ": {"factors": [2], "kind": "cyclic"}},
+        }
+        with pytest.raises(ScheduleFormatError):
+            schedule_from_dict(polybench.gemm(8), data)
+
+    def test_bad_fields_rejected(self):
+        data = {"directives": [{"kind": "Split", "compute_name": "s"}]}
+        with pytest.raises(ScheduleFormatError):
+            schedule_from_dict(polybench.gemm(8), data)
+
+
+class TestCliIntegration:
+    def test_save_then_load(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "sched.json"
+        assert main([
+            "compile", "gemm", "--size", "32", "--dse",
+            "--save-schedule", str(path), "--emit", "report",
+        ]) == 0
+        first = capsys.readouterr().out
+        assert main([
+            "compile", "gemm", "--size", "32",
+            "--load-schedule", str(path), "--emit", "report",
+        ]) == 0
+        second = capsys.readouterr().out
+        assert first.splitlines()[0] == second.splitlines()[0]

@@ -1,0 +1,86 @@
+"""Unit tests for the experiment harness plumbing."""
+
+import pytest
+
+from repro.evaluation import ALL_EXPERIMENTS, fig2, table3
+from repro.evaluation.frameworks import (
+    FRAMEWORKS,
+    fmt_tiles,
+    format_table,
+    run_framework,
+)
+from repro.workloads import polybench
+
+
+class TestRunFramework:
+    def test_unknown_framework_rejected(self):
+        with pytest.raises(ValueError):
+            run_framework("tvm", polybench.gemm, 16)
+
+    def test_baseline_speedup_is_one(self):
+        result = run_framework("baseline", polybench.gemm, 16)
+        assert result.speedup == pytest.approx(1.0)
+
+    def test_pom_result_fields(self):
+        result = run_framework("pom", polybench.gemm, 32)
+        assert result.framework == "pom"
+        assert result.benchmark == "gemm"
+        assert result.size == 32
+        assert result.speedup > 1
+        assert result.tiles
+        assert result.dse_time_s > 0
+        assert result.parallelism >= 1
+
+    def test_scalehls_result_fields(self):
+        result = run_framework("scalehls", polybench.gemm, 32)
+        assert result.tiles
+        assert result.achieved_ii is not None
+
+    def test_all_frameworks_run_bicg(self):
+        for framework in FRAMEWORKS:
+            result = run_framework(framework, polybench.bicg, 16)
+            assert result.report.total_cycles > 0, framework
+
+
+class TestFormatting:
+    def test_format_table_alignment(self):
+        text = format_table(["A", "Long header"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_format_table_title(self):
+        assert format_table(["x"], [], title="T").startswith("T")
+
+    def test_fmt_tiles(self):
+        assert fmt_tiles({}) == "-"
+        assert fmt_tiles({"s": [1, 2]}) == "[1, 2]"
+
+
+class TestExperimentRegistry:
+    def test_all_experiments_registered(self):
+        expected = {
+            "fig2", "table3", "fig11", "table4", "fig12",
+            "table5", "table6", "fig13", "table7", "fig14", "fig15",
+        }
+        assert set(ALL_EXPERIMENTS) == expected
+
+    def test_modules_expose_run_render_main(self):
+        for name, module in ALL_EXPERIMENTS.items():
+            assert hasattr(module, "run"), name
+            assert hasattr(module, "render"), name
+            assert hasattr(module, "main"), name
+
+
+class TestSmallScaleExperiments:
+    """Each experiment's run/render round-trips at tiny sizes."""
+
+    def test_fig2_small(self):
+        results = fig2.run(size=32)
+        text = fig2.render(results)
+        assert "pom" in text
+
+    def test_table3_small(self):
+        results = table3.run(size=32, benchmarks=("gemm",))
+        text = table3.render(results)
+        assert "gemm" in text

@@ -1,0 +1,42 @@
+"""Unit tests for the device model."""
+
+import pytest
+
+from repro.hls.device import XC7Z020, FPGADevice
+
+
+class TestXC7Z020:
+    def test_paper_budgets(self):
+        """Section VII-A: 220 DSPs, 53,200 LUTs, 106,400 FFs, 4.9 Mb."""
+        assert XC7Z020.dsp == 220
+        assert XC7Z020.lut == 53_200
+        assert XC7Z020.ff == 106_400
+        assert XC7Z020.bram_bits == int(4.9 * 1024 * 1024)
+
+    def test_dual_port_brams(self):
+        assert XC7Z020.bram_ports_per_bank == 2
+
+
+class TestScaling:
+    def test_scaled_budgets(self):
+        half = XC7Z020.scaled(0.5)
+        assert half.dsp == 110
+        assert half.lut == 26_600
+        assert half.ff == 53_200
+
+    def test_scaled_name(self):
+        assert "50%" in XC7Z020.scaled(0.5).name
+
+    def test_full_scale_identity_budgets(self):
+        full = XC7Z020.scaled(1.0)
+        assert (full.dsp, full.lut, full.ff) == (220, 53_200, 106_400)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            XC7Z020.scaled(0.0)
+        with pytest.raises(ValueError):
+            XC7Z020.scaled(1.5)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            XC7Z020.dsp = 1

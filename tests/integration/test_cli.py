@@ -1,0 +1,98 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestList:
+    def test_lists_all_suites(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("polybench", "stencils", "image", "dnn", "gemm", "seidel"):
+            assert name in out
+
+
+class TestCompile:
+    def test_emit_c(self, capsys):
+        assert main(["compile", "gemm", "--size", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "void gemm" in out
+
+    def test_emit_mlir(self, capsys):
+        assert main(["compile", "bicg", "--size", "8", "--emit", "mlir"]) == 0
+        assert "func.func @bicg" in capsys.readouterr().out
+
+    def test_emit_report(self, capsys):
+        assert main(["compile", "gemm", "--size", "16", "--emit", "report"]) == 0
+        assert "cycles" in capsys.readouterr().out
+
+    def test_emit_all(self, capsys):
+        assert main(["compile", "gemm", "--size", "8", "--emit", "all"]) == 0
+        out = capsys.readouterr().out
+        assert "void gemm" in out and "func.func" in out and "cycles" in out
+
+    def test_dse_flag(self, capsys):
+        assert main(["compile", "gemm", "--size", "32", "--dse"]) == 0
+        captured = capsys.readouterr()
+        assert "#pragma HLS pipeline" in captured.out
+        assert "auto-DSE" in captured.err
+
+    def test_resource_fraction(self, capsys):
+        assert main([
+            "compile", "gemm", "--size", "32", "--dse",
+            "--resource-fraction", "0.25", "--emit", "report",
+        ]) == 0
+
+    def test_unknown_workload(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["compile", "nonesuch"])
+        assert "unknown workload" in str(excinfo.value)
+
+    def test_default_size_works(self, capsys):
+        assert main(["compile", "jacobi-1d"]) == 0
+        assert "void jacobi_1d" in capsys.readouterr().out
+
+
+class TestExperiment:
+    def test_single_experiment(self, capsys):
+        assert main(["experiment", "fig2", "--size", "32"]) == 0
+        assert "BICG motivating example" in capsys.readouterr().out
+
+    def test_unknown_experiment(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["experiment", "table99"])
+        assert "unknown experiment" in str(excinfo.value)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_compile_defaults(self):
+        args = build_parser().parse_args(["compile", "gemm"])
+        assert args.size is None
+        assert args.emit == "c"
+        assert not args.dse
+
+
+class TestCosimCli:
+    def test_emit_testbench(self, capsys):
+        from repro.cli import main
+
+        assert main(["compile", "gemm", "--size", "8", "--emit", "testbench"]) == 0
+        out = capsys.readouterr().out
+        assert "int main(void)" in out
+
+    def test_cosim_flag(self, capsys):
+        import shutil
+
+        import pytest as _pytest
+
+        if shutil.which("gcc") is None and shutil.which("cc") is None:
+            _pytest.skip("no C compiler")
+        from repro.cli import main
+
+        assert main(["compile", "gemm", "--size", "8", "--cosim", "--emit", "report"]) == 0
+        assert "MATCH" in capsys.readouterr().err

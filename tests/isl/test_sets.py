@@ -1,0 +1,295 @@
+"""Unit tests for basic integer sets and Fourier-Motzkin projection."""
+
+import pytest
+
+from repro.isl.affine import AffineExpr
+from repro.isl.constraint import Constraint
+from repro.isl.sets import BasicSet, LoopBound
+
+e = AffineExpr
+
+
+class TestConstruction:
+    def test_box(self):
+        s = BasicSet.box({"i": (0, 3), "j": (1, 2)})
+        assert s.contains({"i": 0, "j": 1})
+        assert s.contains({"i": 3, "j": 2})
+        assert not s.contains({"i": 4, "j": 1})
+        assert not s.contains({"i": 0, "j": 0})
+
+    def test_universe(self):
+        s = BasicSet.universe(["i"])
+        assert s.contains({"i": 10 ** 9})
+
+    def test_duplicate_dims_rejected(self):
+        with pytest.raises(ValueError):
+            BasicSet(["i", "i"])
+
+    def test_unknown_dim_in_constraint_rejected(self):
+        with pytest.raises(ValueError):
+            BasicSet(["i"], [Constraint.ge("j", 0)])
+
+    def test_tautologies_dropped(self):
+        s = BasicSet(["i"], [Constraint.ge(1, 0)])
+        assert len(s.constraints) == 0
+
+    def test_duplicate_constraints_dropped(self):
+        s = BasicSet(["i"], [Constraint.ge("i", 0), Constraint.ge("i", 0)])
+        assert len(s.constraints) == 1
+
+
+class TestOperations:
+    def test_intersect(self):
+        a = BasicSet.box({"i": (0, 10)})
+        b = BasicSet.box({"i": (5, 20)})
+        both = a.intersect(b)
+        assert both.contains({"i": 7})
+        assert not both.contains({"i": 3})
+        assert not both.contains({"i": 12})
+
+    def test_intersect_dim_mismatch(self):
+        with pytest.raises(ValueError):
+            BasicSet.box({"i": (0, 1)}).intersect(BasicSet.box({"j": (0, 1)}))
+
+    def test_rename_dims(self):
+        s = BasicSet.box({"i": (0, 3)}).rename_dims({"i": "x"})
+        assert s.dims == ("x",)
+        assert s.contains({"x": 2})
+
+    def test_reorder_dims(self):
+        s = BasicSet.box({"i": (0, 1), "j": (0, 2)}, order=["i", "j"])
+        r = s.reorder_dims(["j", "i"])
+        assert r.dims == ("j", "i")
+        assert r.contains({"i": 1, "j": 2})
+
+    def test_reorder_rejects_non_permutation(self):
+        s = BasicSet.box({"i": (0, 1)})
+        with pytest.raises(ValueError):
+            s.reorder_dims(["i", "j"])
+
+    def test_substitute_dim_split(self):
+        # i in [0,31], i = 4*i0 + i1, 0 <= i1 <= 3
+        s = BasicSet.box({"i": (0, 31)})
+        t = s.substitute_dim(
+            "i", e.var("i0") * 4 + e.var("i1"), ["i0", "i1"],
+            extra=[Constraint.ge("i1", 0), Constraint.le("i1", 3)],
+        )
+        assert t.count_points() == 32
+        lo, hi = t.constant_bounds("i0")
+        assert (lo, hi) == (0, 7)
+
+    def test_substitute_dim_skew(self):
+        # j' = i + j over the 4x4 box; points preserved.
+        s = BasicSet.box({"i": (0, 3), "j": (0, 3)})
+        t = s.substitute_dim("j", e.var("jp") - e.var("i"), ["i", "jp"])
+        assert t.count_points() == 16
+        lo, hi = t.constant_bounds("jp")
+        assert (lo, hi) == (0, 6)
+
+    def test_add_dims(self):
+        s = BasicSet.box({"i": (0, 1)}).add_dims(["k"])
+        assert s.dims == ("i", "k")
+        assert s.contains({"i": 0, "k": 99})
+
+
+class TestProjection:
+    def test_drop_dim_simple(self):
+        s = BasicSet.box({"i": (0, 3), "j": (0, 5)})
+        p = s.drop_dim("j")
+        assert p.dims == ("i",)
+        assert p.constant_bounds("i") == (0, 3)
+
+    def test_drop_dim_coupled(self):
+        # i + j <= 5, 0 <= i, 0 <= j  -> projecting j gives 0 <= i <= 5
+        s = BasicSet(
+            ["i", "j"],
+            [Constraint.ge("i", 0), Constraint.ge("j", 0),
+             Constraint.le(e.var("i") + e.var("j"), 5)],
+        )
+        p = s.drop_dim("j")
+        assert p.constant_bounds("i") == (0, 5)
+
+    def test_projection_matches_enumeration(self):
+        s = BasicSet(
+            ["i", "j"],
+            [Constraint.ge("i", 0), Constraint.le("i", 6),
+             Constraint.ge("j", e.var("i")), Constraint.le("j", 8)],
+        )
+        projected = s.drop_dim("j")
+        shadow = {p["i"] for p in s.points()}
+        for i in range(-2, 10):
+            assert projected.contains({"i": i}) == (i in shadow)
+
+    def test_project_onto(self):
+        s = BasicSet.box({"i": (0, 3), "j": (0, 4), "k": (0, 5)})
+        p = s.project_onto(["k", "i"])
+        assert p.dims == ("k", "i")
+        assert p.count_points() == 24
+
+    def test_equality_substitution_in_elimination(self):
+        # j == i + 1, 0 <= i <= 3, j <= 3 -> i <= 2
+        s = BasicSet(
+            ["i", "j"],
+            [Constraint.eq("j", e.var("i") + 1), Constraint.ge("i", 0),
+             Constraint.le("i", 3), Constraint.le("j", 3)],
+        )
+        p = s.drop_dim("j")
+        assert p.constant_bounds("i") == (0, 2)
+
+
+class TestEmptiness:
+    def test_nonempty_box(self):
+        assert not BasicSet.box({"i": (0, 0)}).is_empty()
+
+    def test_empty_box(self):
+        assert BasicSet.box({"i": (3, 1)}).is_empty()
+
+    def test_empty_by_coupling(self):
+        s = BasicSet(
+            ["i", "j"],
+            [Constraint.ge("i", 0), Constraint.le("i", 3),
+             Constraint.ge("j", e.var("i") + 10), Constraint.le("j", 5)],
+        )
+        assert s.is_empty()
+
+    def test_empty_by_gcd(self):
+        # 2i == 1: rationally feasible, integrally empty.
+        s = BasicSet(["i"], [Constraint.eq(e.var("i") * 2, 1)])
+        assert s.is_empty()
+
+    def test_tight_single_point(self):
+        s = BasicSet.box({"i": (5, 5)})
+        assert not s.is_empty()
+        assert s.count_points() == 1
+
+    def test_unbounded_nonempty(self):
+        assert not BasicSet(["i"], [Constraint.ge("i", 0)]).is_empty()
+
+
+class TestBounds:
+    def test_dim_bounds_constant(self):
+        s = BasicSet.box({"i": (2, 9)})
+        lowers, uppers = s.dim_bounds("i")
+        assert [b.evaluate({}) for b in lowers] == [2]
+        assert [b.evaluate({}) for b in uppers] == [9]
+
+    def test_dim_bounds_parametric(self):
+        # i <= j <= 7 with context i
+        s = BasicSet(
+            ["i", "j"],
+            [Constraint.ge("j", e.var("i")), Constraint.le("j", 7),
+             Constraint.ge("i", 0), Constraint.le("i", 7)],
+        )
+        lowers, uppers = s.dim_bounds("j", context=["i"])
+        lower_exprs = {(b.expr, b.divisor) for b in lowers}
+        assert (e.var("i"), 1) in lower_exprs
+
+    def test_dim_bounds_with_divisor(self):
+        # 3*i >= j, i <= 5 -> lower bound ceil(j/3)
+        s = BasicSet(
+            ["j", "i"],
+            [Constraint.ge(e.var("i") * 3, e.var("j")), Constraint.le("i", 5)],
+        )
+        lowers, _ = s.dim_bounds("i", context=["j"])
+        assert any(b.divisor == 3 for b in lowers)
+        b = next(b for b in lowers if b.divisor == 3)
+        assert b.evaluate({"j": 4}) == 2  # ceil(4/3)
+
+    def test_constant_bounds_none_when_unbounded(self):
+        s = BasicSet(["i"], [Constraint.ge("i", 0)])
+        assert s.constant_bounds("i") == (0, None)
+
+
+class TestEnumeration:
+    def test_points_of_triangle(self):
+        s = BasicSet(
+            ["i", "j"],
+            [Constraint.ge("i", 0), Constraint.le("i", 3),
+             Constraint.ge("j", 0), Constraint.le("j", e.var("i"))],
+        )
+        points = list(s.points())
+        assert len(points) == 10  # 1+2+3+4
+
+    def test_points_unbounded_raises(self):
+        with pytest.raises(ValueError):
+            list(BasicSet(["i"], [Constraint.ge("i", 0)]).points())
+
+    def test_points_limit(self):
+        s = BasicSet.box({"i": (0, 99), "j": (0, 99)})
+        with pytest.raises(ValueError):
+            list(s.points(limit=100))
+
+    def test_sample_nonempty(self):
+        s = BasicSet.box({"i": (3, 7), "j": (-2, -1)})
+        point = s.sample()
+        assert point is not None
+        assert s.contains(point)
+
+    def test_sample_empty(self):
+        assert BasicSet.box({"i": (5, 2)}).sample() is None
+
+
+class TestLoopBound:
+    def test_lower_is_ceil(self):
+        b = LoopBound(e.var("n"), 4, is_lower=True)
+        assert b.evaluate({"n": 5}) == 2
+        assert b.evaluate({"n": 8}) == 2
+        assert b.evaluate({"n": -5}) == -1
+
+    def test_upper_is_floor(self):
+        b = LoopBound(e.var("n"), 4, is_lower=False)
+        assert b.evaluate({"n": 5}) == 1
+        assert b.evaluate({"n": -5}) == -2
+
+    def test_common_factor_reduced(self):
+        b = LoopBound(e.var("n") * 2 + 4, 2, is_lower=False)
+        assert b.divisor == 1
+        assert b.expr == e.var("n") + 2
+
+    def test_nonpositive_divisor_rejected(self):
+        with pytest.raises(ValueError):
+            LoopBound(e.var("n"), 0, is_lower=True)
+
+    def test_equality(self):
+        a = LoopBound(e.var("n"), 2, True)
+        b = LoopBound(e.var("n"), 2, True)
+        assert a == b and hash(a) == hash(b)
+
+
+class TestEqualityEliminationRegression:
+    """Regression: equalities with |coeff| > 1 and negative sign used to
+    land in the wrong Fourier-Motzkin combination list, flipping the
+    projected bounds (found via strided access images)."""
+
+    def test_negative_wide_coefficient_equality(self):
+        # { (j, b) : b - 2j == 0, 0 <= j <= 1 } projected onto b -> [0, 2]
+        s = BasicSet(
+            ["j", "b"],
+            [Constraint.eq(e.var("b") - e.var("j") * 2, 0),
+             Constraint.ge("j", 0), Constraint.le("j", 1)],
+        )
+        p = s.drop_dim("j")
+        assert p.constant_bounds("b") == (0, 2)
+        assert not p.is_empty()
+
+    def test_positive_wide_coefficient_equality(self):
+        # { (j, b) : 2j - b == 0, 0 <= j <= 3 } -> b in [0, 6]
+        s = BasicSet(
+            ["j", "b"],
+            [Constraint.eq(e.var("j") * 2 - e.var("b"), 0),
+             Constraint.ge("j", 0), Constraint.le("j", 3)],
+        )
+        assert s.drop_dim("j").constant_bounds("b") == (0, 6)
+
+    def test_projection_never_empties_nonempty_set(self):
+        s = BasicSet(
+            ["i", "j", "b"],
+            [Constraint.eq(e.var("b") - e.var("i") * 3 + e.var("j") * 2, 0),
+             Constraint.ge("i", 0), Constraint.le("i", 2),
+             Constraint.ge("j", 0), Constraint.le("j", 2)],
+        )
+        projected = s.drop_dim("i").drop_dim("j")
+        assert not projected.is_empty()
+        # every realizable b stays inside the projection
+        for p in s.points():
+            assert projected.contains({"b": p["b"]})

@@ -1,0 +1,172 @@
+"""Unit and property tests for union sets and lexicographic extrema."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isl.affine import AffineExpr
+from repro.isl.constraint import Constraint
+from repro.isl.sets import BasicSet
+from repro.isl.union import UnionSet, lexmax, lexmin
+
+from tests.isl.test_properties import random_sets
+
+e = AffineExpr
+
+
+def box(lo1, hi1, lo2, hi2):
+    return BasicSet.box({"i": (lo1, hi1), "j": (lo2, hi2)}, order=["i", "j"])
+
+
+class TestConstruction:
+    def test_empty_parts_dropped(self):
+        u = UnionSet(("i", "j"), [box(0, 3, 0, 3), box(5, 2, 0, 3)])
+        assert len(u.parts) == 1
+
+    def test_dim_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            UnionSet(("i",), [box(0, 1, 0, 1)])
+
+    def test_empty(self):
+        assert UnionSet.empty(("i", "j")).is_empty()
+
+    def test_from_set(self):
+        u = UnionSet.from_set(box(0, 1, 0, 1))
+        assert u.count_points() == 4
+
+
+class TestAlgebra:
+    def test_union_counts_distinct(self):
+        a = UnionSet.from_set(box(0, 3, 0, 0))     # 4 points
+        b = UnionSet.from_set(box(2, 5, 0, 0))     # 4 points, 2 overlap
+        assert a.union(b).count_points() == 6
+
+    def test_intersect_set(self):
+        u = UnionSet.from_set(box(0, 7, 0, 7)).intersect_set(box(4, 9, 4, 9))
+        assert u.count_points() == 16
+
+    def test_subtract_constraint_ge(self):
+        u = UnionSet.from_set(box(0, 7, 0, 0))
+        violated = u.subtract_constraint(Constraint.ge("i", 4))
+        assert sorted(p["i"] for p in violated.points()) == [0, 1, 2, 3]
+
+    def test_subtract_constraint_eq(self):
+        u = UnionSet.from_set(box(0, 4, 0, 0))
+        violated = u.subtract_constraint(Constraint.eq("i", 2))
+        assert sorted(p["i"] for p in violated.points()) == [0, 1, 3, 4]
+
+    def test_subtract_box(self):
+        whole = UnionSet.from_set(box(0, 3, 0, 3))
+        hole = box(1, 2, 1, 2)
+        diff = whole.subtract(hole)
+        assert diff.count_points() == 12
+        assert not diff.contains({"i": 1, "j": 2})
+        assert diff.contains({"i": 0, "j": 0})
+
+    def test_subtract_disjoint(self):
+        whole = UnionSet.from_set(box(0, 3, 0, 3))
+        assert whole.subtract(box(10, 12, 10, 12)).count_points() == 16
+
+    def test_subtract_everything(self):
+        whole = UnionSet.from_set(box(0, 3, 0, 3))
+        assert whole.subtract(box(-5, 9, -5, 9)).is_empty()
+
+    def test_coalesce_drops_subsumed(self):
+        u = UnionSet(("i", "j"), [box(0, 7, 0, 7), box(2, 3, 2, 3)])
+        coalesced = u.coalesce()
+        assert len(coalesced.parts) == 1
+        assert coalesced.count_points() == 64
+
+
+class TestQueries:
+    def test_contains_any_part(self):
+        u = UnionSet(("i", "j"), [box(0, 1, 0, 1), box(5, 6, 5, 6)])
+        assert u.contains({"i": 5, "j": 6})
+        assert not u.contains({"i": 3, "j": 3})
+
+    def test_points_deduplicated(self):
+        u = UnionSet(("i", "j"), [box(0, 3, 0, 0), box(2, 5, 0, 0)])
+        assert u.count_points() == 6
+
+    def test_sample(self):
+        u = UnionSet(("i", "j"), [box(5, 2, 0, 0), box(7, 9, 1, 1)])
+        point = u.sample()
+        assert point is not None and u.contains(point)
+        assert UnionSet.empty(("i", "j")).sample() is None
+
+
+class TestLexExtrema:
+    def test_box(self):
+        s = box(2, 5, -1, 4)
+        assert lexmin(s) == {"i": 2, "j": -1}
+        assert lexmax(s) == {"i": 5, "j": 4}
+
+    def test_triangle(self):
+        s = BasicSet(
+            ("i", "j"),
+            [Constraint.ge("i", 0), Constraint.le("i", 4),
+             Constraint.ge("j", e.var("i")), Constraint.le("j", 4)],
+        )
+        assert lexmin(s) == {"i": 0, "j": 0}
+        assert lexmax(s) == {"i": 4, "j": 4}
+
+    def test_empty(self):
+        assert lexmin(box(3, 1, 0, 0)) is None
+        assert lexmax(box(3, 1, 0, 0)) is None
+
+    def test_unbounded_raises(self):
+        s = BasicSet(("i",), [Constraint.ge("i", 0)])
+        with pytest.raises(ValueError):
+            lexmax(s)
+
+    def test_integrally_tight(self):
+        # 2i == j with i in [0,3], j in [1,5]: lexmin must land on integers
+        s = BasicSet(
+            ("i", "j"),
+            [Constraint.ge("i", 0), Constraint.le("i", 3),
+             Constraint.ge("j", 1), Constraint.le("j", 5),
+             Constraint.eq(e.var("i") * 2, e.var("j"))],
+        )
+        assert lexmin(s) == {"i": 1, "j": 2}
+        assert lexmax(s) == {"i": 2, "j": 4}
+
+
+class TestProperties:
+    @given(random_sets(), random_sets())
+    @settings(max_examples=30, deadline=None)
+    def test_subtract_semantics(self, a, b):
+        union = UnionSet.from_set(a)
+        diff = union.subtract(b)
+        for point in a.points(limit=10000):
+            assert diff.contains(point) == (not b.contains(point))
+
+    @given(random_sets())
+    @settings(max_examples=30, deadline=None)
+    def test_lexmin_is_smallest(self, s):
+        if s.is_empty():
+            return
+        smallest = lexmin(s)
+        assert s.contains(smallest)
+        key = tuple(smallest[d] for d in s.dims)
+        for point in s.points(limit=10000):
+            assert key <= tuple(point[d] for d in s.dims)
+
+    @given(random_sets())
+    @settings(max_examples=30, deadline=None)
+    def test_lexmax_is_largest(self, s):
+        if s.is_empty():
+            return
+        largest = lexmax(s)
+        assert s.contains(largest)
+        key = tuple(largest[d] for d in s.dims)
+        for point in s.points(limit=10000):
+            assert key >= tuple(point[d] for d in s.dims)
+
+    @given(random_sets(), random_sets())
+    @settings(max_examples=25, deadline=None)
+    def test_union_contains_both(self, a, b):
+        u = UnionSet.from_set(a).union(UnionSet.from_set(b))
+        for point in list(a.points(10000))[:20]:
+            assert u.contains(point)
+        for point in list(b.points(10000))[:20]:
+            assert u.contains(point)

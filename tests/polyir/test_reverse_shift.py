@@ -1,0 +1,180 @@
+"""Unit tests for the reverse and shift transformations."""
+
+import numpy as np
+import pytest
+
+from repro.affine import interpret
+from repro.dsl import Function, compute, placeholder, var
+from repro.pipeline import lower_to_affine
+from repro.polyir import PolyProgram, TransformError, reverse, shift
+from repro.polyir.statement import PolyStatement
+
+
+def make_stmt(extent=8):
+    with Function("f"):
+        i = var("i", 0, extent)
+        A = placeholder("A", (extent,))
+        B = placeholder("B", (extent,))
+        s = compute("s", [i], A(i) * 2.0, B(i))
+    return PolyStatement.from_compute(s, 0)
+
+
+class TestReverse:
+    def test_domain_preserved(self):
+        new = reverse(make_stmt(), "i", "ir")
+        assert new.loop_order == ["ir"]
+        assert new.domain.count_points() == 8
+        assert new.domain.constant_bounds("ir") == (0, 7)
+
+    def test_access_rewritten(self):
+        new = reverse(make_stmt(), "i", "ir")
+        arrays = {"A": np.arange(8.0), "B": np.zeros(8)}
+        # iteration ir=0 touches the original i=7
+        value = new.body.evaluate({"ir": 0}, arrays)
+        assert value == 14.0
+
+    def test_reverse_skewed_dim_preserves_points(self):
+        """Reversal is exact set substitution, so even skewed (envelope-
+        bounded) dims keep their integer points."""
+        from repro.polyir import skew
+
+        with Function("g"):
+            i = var("i", 0, 8)
+            j = var("j", 0, 8)
+            A = placeholder("A", (8, 8))
+            s = compute("s", [i, j], A(i, j) + 1.0, A(i, j))
+        stmt = PolyStatement.from_compute(s, 0)
+        skewed = skew(stmt, "i", "j", 1, "ip", "jp")
+        reversed_stmt = reverse(skewed, "jp", "jpr")
+        assert reversed_stmt.domain.count_points() == 64
+
+    def test_name_collision_rejected(self):
+        with pytest.raises(TransformError):
+            reverse(make_stmt(), "i", "i")
+
+
+class TestShift:
+    def test_domain_translated(self):
+        new = shift(make_stmt(), "i", 5, "is_")
+        assert new.domain.constant_bounds("is_") == (5, 12)
+        assert new.domain.count_points() == 8
+
+    def test_access_rewritten(self):
+        new = shift(make_stmt(), "i", 5, "is_")
+        arrays = {"A": np.arange(8.0), "B": np.zeros(8)}
+        assert new.body.evaluate({"is_": 5}, arrays) == 0.0
+        assert new.body.evaluate({"is_": 12}, arrays) == 14.0
+
+    def test_negative_offset(self):
+        new = shift(make_stmt(), "i", -3, "is_")
+        assert new.domain.constant_bounds("is_") == (-3, 4)
+
+    def test_zero_offset_rejected(self):
+        with pytest.raises(TransformError):
+            shift(make_stmt(), "i", 0, "is_")
+
+
+class TestDirectivesEndToEnd:
+    def test_reverse_directive_semantics(self):
+        with Function("rv") as f:
+            i = var("i", 0, 10)
+            A = placeholder("A", (10,))
+            B = placeholder("B", (10,))
+            s = compute("s", [i], A(i) + 1.0, B(i))
+        s.reverse(i, "ir")
+        arrays = f.allocate_arrays(seed=1)
+        want = {k: v.copy() for k, v in arrays.items()}
+        f.reference_execute(want)
+        interpret(lower_to_affine(f), arrays)
+        assert np.array_equal(arrays["B"], want["B"])
+
+    def test_shift_directive_semantics(self):
+        with Function("sh") as f:
+            i = var("i", 0, 10)
+            A = placeholder("A", (10,))
+            B = placeholder("B", (10,))
+            s = compute("s", [i], A(i) * 3.0, B(i))
+        s.shift(i, 7, "is_")
+        arrays = f.allocate_arrays(seed=2)
+        want = {k: v.copy() for k, v in arrays.items()}
+        f.reference_execute(want)
+        interpret(lower_to_affine(f), arrays)
+        assert np.array_equal(arrays["B"], want["B"])
+
+    def test_shift_then_split(self):
+        with Function("comp") as f:
+            i = var("i", 0, 16)
+            A = placeholder("A", (16,))
+            s = compute("s", [i], A(i) + 1.0, A(i))
+        s.shift(i, 4, "is_").split("is_", 4, "a", "b")
+        prog = PolyProgram(f).apply_schedule()
+        assert prog.statement("s").loop_order == ["a", "b"]
+        arrays = f.allocate_arrays(seed=3)
+        want = {k: v.copy() for k, v in arrays.items()}
+        f.reference_execute(want)
+        interpret(lower_to_affine(f), arrays)
+        assert np.array_equal(arrays["A"], want["A"])
+
+    def test_reverse_illegal_on_scan_detected_by_oracle(self):
+        """Reversal of a prefix scan flips the dependence; the functional
+        oracle sees the difference (the DSE would refuse the move)."""
+        with Function("scan") as f:
+            i = var("i", 1, 10)
+            A = placeholder("A", (10,))
+            s = compute("s", [i], A(i) + A(i - 1), A(i))
+        s.reverse(i, "ir")
+        arrays = f.allocate_arrays(seed=4)
+        want = {k: v.copy() for k, v in arrays.items()}
+        with Function("scan2") as f2:
+            i2 = var("i", 1, 10)
+            A2 = placeholder("A", (10,))
+            compute("s", [i2], A2(i2) + A2(i2 - 1), A2(i2))
+        f2.reference_execute(want)
+        interpret(lower_to_affine(f), arrays)
+        assert not np.array_equal(arrays["A"], want["A"])
+
+
+class TestFixedPointType:
+    def test_fixed_through_pipeline(self):
+        from repro.dsl import fixed
+
+        dtype = fixed(16, 8)
+        with Function("fx") as f:
+            i = var("i", 0, 8)
+            A = placeholder("A", (8,), dtype)
+            B = placeholder("B", (8,), dtype)
+            compute("s", [i], A(i) * 2.0, B(i))
+        arrays = f.allocate_arrays(seed=5)
+        # inputs are quantized to the fixed-point grid
+        step = 2.0 ** -dtype.frac_bits
+        assert np.allclose(arrays["A"] / step, np.round(arrays["A"] / step))
+        interpret(lower_to_affine(f), arrays)
+        assert np.allclose(arrays["B"], arrays["A"] * 2.0)
+
+    def test_fixed_c_name_in_codegen(self):
+        from repro.dsl import fixed
+        from repro.pipeline import compile_to_hls_c
+
+        with Function("fx2") as f:
+            i = var("i", 0, 8)
+            A = placeholder("A", (8,), fixed(12, 4))
+            compute("s", [i], A(i) + 1.0, A(i))
+        assert "ap_fixed<12, 4> A[8]" in compile_to_hls_c(f)
+
+    def test_fixed_cheaper_than_float(self):
+        from repro.dsl import fixed
+        from repro.hls import oplib
+        from repro.dsl import dtypes
+
+        fx = oplib.op_cost("*", fixed(16, 8))
+        fl = oplib.op_cost("*", dtypes.float32)
+        assert fx.dsp <= fl.dsp
+        assert fx.latency <= fl.latency
+
+    def test_fixed_validation(self):
+        from repro.dsl import fixed
+
+        with pytest.raises(ValueError):
+            fixed(8, 0)
+        with pytest.raises(ValueError):
+            fixed(8, 9)
