@@ -34,6 +34,45 @@ class Op:
     def regions(self) -> Sequence["Block"]:
         return ()
 
+    def fingerprint(self) -> tuple:
+        """A stable structural fingerprint (hashable nested tuple).
+
+        Two ops with equal fingerprints lower to the same code and
+        produce the same synthesis estimate.  The fingerprint is cached
+        on the instance: ops are treated as frozen once built (the DSE
+        caching layers rely on this -- mutate-after-build passes such as
+        canonicalization must run on freshly lowered functions).
+        """
+        cached = getattr(self, "_fingerprint_memo", None)
+        if cached is None:
+            cached = self._fingerprint()
+            self._fingerprint_memo = cached
+        return cached
+
+    def _fingerprint(self) -> tuple:
+        raise NotImplementedError(f"{type(self).__name__} has no fingerprint")
+
+    def _attrs_fingerprint(self) -> tuple:
+        return tuple(
+            sorted((key, _freeze(value)) for key, value in self.attributes.items())
+        )
+
+
+def _freeze(value):
+    """Convert an attribute value into a hashable form."""
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    if isinstance(value, set):
+        return tuple(sorted(_freeze(v) for v in value))
+    return value
+
+
+def _array_fingerprint(array: Placeholder) -> tuple:
+    """Identify an array by its interface, not its (mutable) partition state."""
+    return (array.name, array.shape, str(array.dtype))
+
 
 class Block:
     """An ordered list of ops (a single-block region)."""
@@ -66,6 +105,9 @@ class ConstantOp(ValueOp):
         super().__init__()
         self.value = value
 
+    def _fingerprint(self):
+        return ("const", self.value)
+
 
 class IndexOp(ValueOp):
     """An affine function of the enclosing loop iterators (affine.apply)."""
@@ -73,6 +115,9 @@ class IndexOp(ValueOp):
     def __init__(self, expr: AffineExpr):
         super().__init__()
         self.expr = expr
+
+    def _fingerprint(self):
+        return ("index", self.expr)
 
 
 class AffineLoadOp(ValueOp):
@@ -88,6 +133,9 @@ class AffineLoadOp(ValueOp):
         self.array = array
         self.indices = indices
 
+    def _fingerprint(self):
+        return ("load", _array_fingerprint(self.array), tuple(self.indices))
+
 
 class ArithOp(ValueOp):
     """arith.addf / subf / mulf / divf / remf (and integer forms)."""
@@ -102,6 +150,9 @@ class ArithOp(ValueOp):
         self.lhs = lhs
         self.rhs = rhs
 
+    def _fingerprint(self):
+        return ("arith", self.kind, self.lhs.fingerprint(), self.rhs.fingerprint())
+
 
 class CallOp(ValueOp):
     """math dialect intrinsic (math.exp, arith.minf, ...)."""
@@ -111,6 +162,9 @@ class CallOp(ValueOp):
         self.func = func
         self.operands = operands
 
+    def _fingerprint(self):
+        return ("call", self.func, tuple(o.fingerprint() for o in self.operands))
+
 
 class CastOp(ValueOp):
     """arith.sitofp / fptosi style conversion."""
@@ -119,6 +173,9 @@ class CastOp(ValueOp):
         super().__init__()
         self.dtype = dtype
         self.operand = operand
+
+    def _fingerprint(self):
+        return ("cast", str(self.dtype), self.operand.fingerprint())
 
 
 # -- structured / memory ops ---------------------------------------------------
@@ -140,6 +197,15 @@ class AffineStoreOp(Op):
 
     def statement_name(self) -> Optional[str]:
         return self.attributes.get("statement")
+
+    def _fingerprint(self):
+        return (
+            "store",
+            _array_fingerprint(self.array),
+            tuple(self.indices),
+            self.value.fingerprint(),
+            self._attrs_fingerprint(),
+        )
 
 
 class AffineForOp(Op):
@@ -167,6 +233,16 @@ class AffineForOp(Op):
 
     def regions(self):
         return (self.body,)
+
+    def _fingerprint(self):
+        return (
+            "for",
+            self.iterator,
+            tuple(self.lowers),
+            tuple(self.uppers),
+            self._attrs_fingerprint(),
+            tuple(op.fingerprint() for op in self.body),
+        )
 
     def constant_trip_count(self) -> Optional[int]:
         lo_vals = [b.evaluate({}) for b in self.lowers if b.expr.is_constant()]
@@ -221,6 +297,14 @@ class AffineIfOp(Op):
     def regions(self):
         return (self.body,)
 
+    def _fingerprint(self):
+        return (
+            "if",
+            tuple(self.conditions),
+            self._attrs_fingerprint(),
+            tuple(op.fingerprint() for op in self.body),
+        )
+
 
 class FuncOp(Op):
     """The top-level function: memref arguments plus a body region.
@@ -249,3 +333,63 @@ class FuncOp(Op):
 
     def stores(self) -> List[AffineStoreOp]:
         return [op for op in self.walk() if isinstance(op, AffineStoreOp)]
+
+    def fingerprint(self) -> tuple:
+        """Structural fingerprint of the function.
+
+        Unlike nested ops this is *not* memoized on the instance: the DSE
+        ladder mutates partition attributes between estimations, and the
+        fingerprint must track them.  Partition schemes are restricted to
+        arrays the body actually references so that two functions with
+        identical code and identical relevant partitions compare equal even
+        if they carry stale schemes for unused arrays (the per-nest shell
+        functions in the latency analysis rely on this).
+        """
+        used = _used_arrays(self.body)
+        attrs = dict(self.attributes)
+        partitions = attrs.pop("partitions", None)
+        items = []
+        if partitions:
+            items = sorted(
+                (name, _freeze(scheme))
+                for name, scheme in partitions.items()
+                if name in used
+            )
+        other = tuple(sorted((k, _freeze(v)) for k, v in attrs.items()))
+        return (
+            "func",
+            self.name,
+            tuple(_array_fingerprint(a) for a in self.arrays if a.name in used),
+            tuple(items),
+            other,
+            tuple(op.fingerprint() for op in self.body),
+        )
+
+
+def _used_arrays(block: Block) -> set:
+    """Names of arrays referenced by loads/stores anywhere under ``block``."""
+    used: set = set()
+
+    def visit_value(value: ValueOp) -> None:
+        if isinstance(value, AffineLoadOp):
+            used.add(value.array.name)
+        elif isinstance(value, ArithOp):
+            visit_value(value.lhs)
+            visit_value(value.rhs)
+        elif isinstance(value, CallOp):
+            for operand in value.operands:
+                visit_value(operand)
+        elif isinstance(value, CastOp):
+            visit_value(value.operand)
+
+    def visit(op: Op) -> None:
+        if isinstance(op, AffineStoreOp):
+            used.add(op.array.name)
+            visit_value(op.value)
+        for region in op.regions():
+            for inner in region:
+                visit(inner)
+
+    for op in block:
+        visit(op)
+    return used

@@ -11,7 +11,8 @@ on the function op.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from time import perf_counter
+from typing import Dict, List, Optional
 
 from repro.dsl.expr import Access, BinaryOp, Call, Cast, Const, Expr, IterRef, to_affine
 from repro.dsl.function import Function
@@ -39,6 +40,59 @@ def lower_program(program: PolyProgram) -> FuncOp:
     """Lower a polyhedral program (with built AST) to a FuncOp."""
     ast = program.build_ast()
     return lower_ast(ast, program.function)
+
+
+def lower_program_incremental(
+    program: PolyProgram,
+    cache: Optional[Dict[tuple, List]] = None,
+    stats=None,
+) -> FuncOp:
+    """Lower a program, re-lowering only top-level nests not seen before.
+
+    The AST builder partitions statements by their outermost static dim,
+    so each top-level group builds and lowers independently of the
+    others (see :meth:`PolyProgram.build_ast_for`).  ``cache`` maps a
+    group's tuple of statement fingerprints to its previously lowered
+    ops; on a hit the ops are spliced into the new function by
+    reference, which is safe because the DSE pipeline treats lowered
+    functions as read-only (mutating passes such as canonicalization run
+    on freshly lowered functions at code generation time).
+
+    ``stats``, when given, must expose ``group_lowerings``,
+    ``lowering_cache_hits``/``lowering_cache_misses`` counters and an
+    ``astbuild_s`` accumulator (see :class:`repro.dse.stats.DseStats`).
+    """
+    if cache is None:
+        return lower_program(program)
+    function = program.function
+    func = FuncOp(function.name, function.placeholders())
+    for group in program.toplevel_groups():
+        key = tuple(stmt.fingerprint() for stmt in group)
+        ops = cache.get(key)
+        if ops is None:
+            if stats is not None:
+                stats.lowering_cache_misses += 1
+                stats.group_lowerings += 1
+            start = perf_counter()
+            ast = program.build_ast_for(group)
+            if stats is not None:
+                stats.astbuild_s += perf_counter() - start
+            block = Block()
+            _lower_node(ast, block)
+            ops = list(block.ops)
+            cache[key] = ops
+        elif stats is not None:
+            stats.lowering_cache_hits += 1
+        for op in ops:
+            func.body.append(op)
+    partitions = {
+        p.name: p.partition_scheme
+        for p in function.placeholders()
+        if p.partition_scheme is not None
+    }
+    if partitions:
+        func.attributes["partitions"] = partitions
+    return func
 
 
 def lower_ast(ast: AstNode, function: Function) -> FuncOp:

@@ -92,6 +92,24 @@ def cmd_compile(args) -> int:
     return 0
 
 
+def cmd_dse(args) -> int:
+    function = _build_workload(args.workload, args.size)
+    result = function.auto_DSE(
+        resource_fraction=args.resource_fraction,
+        cache=not args.no_cache,
+    )
+    print(
+        f"auto-DSE of {args.workload}: {result.evaluations} evaluations in "
+        f"{result.dse_time_s:.3f}s"
+    )
+    print(f"tiles: {result.tile_vectors()}")
+    print(result.report.summary())
+    if args.stats:
+        print()
+        print(result.stats.summary())
+    return 0
+
+
 def cmd_experiment(args) -> int:
     from repro.evaluation import ALL_EXPERIMENTS
 
@@ -151,6 +169,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="apply a previously saved JSON schedule instead of searching",
     )
     compile_p.set_defaults(func=cmd_compile)
+
+    dse_p = sub.add_parser("dse", help="run auto-DSE and report the search profile")
+    dse_p.add_argument("workload", help="workload name (see `list`)")
+    dse_p.add_argument("--size", type=int, default=None, help="problem size")
+    dse_p.add_argument(
+        "--resource-fraction", type=float, default=1.0,
+        help="fraction of the device budget available to the DSE",
+    )
+    dse_p.add_argument(
+        "--stats", action="store_true",
+        help="print per-phase wall time and cache-hit counters",
+    )
+    dse_p.add_argument(
+        "--no-cache", action="store_true",
+        help="disable all DSE memoization layers (for measurement)",
+    )
+    dse_p.set_defaults(func=cmd_dse)
 
     experiment_p = sub.add_parser("experiment", help="regenerate a table/figure")
     experiment_p.add_argument("name", help="experiment id (e.g. table3) or 'all'")

@@ -9,6 +9,7 @@ constraints using the virtual HLS estimator as its cost model.
 
 from repro.dse.engine import DseResult, auto_dse
 from repro.dse.stage1 import Stage1Plan, plan_stage1
+from repro.dse.stats import DseStats
 from repro.dse.stage2 import (
     NodeConfig,
     config_directives,
@@ -19,6 +20,7 @@ from repro.dse.stage2 import (
 __all__ = [
     "auto_dse",
     "DseResult",
+    "DseStats",
     "plan_stage1",
     "Stage1Plan",
     "NodeConfig",

@@ -7,22 +7,42 @@ virtual-HLS estimate stays within the resource constraints; a node whose
 next step is infeasible (or maxed out) leaves the optimization list; the
 search ends when the list is empty.  The winning schedule is installed
 on the function.
+
+Evaluation is memoized at several layers (all local to one ``auto_dse``
+call unless noted):
+
+- *node config*: ``(node, parallelism)`` -> :class:`NodeConfig`;
+- *evaluation*: ``(config fingerprints, bank_cap)`` -> scored design;
+- *design*: ``(config fingerprints, partition fingerprints)`` -> lowered
+  function + report, catching bank caps that derive identical banking;
+- *partitions*: ``(config fingerprints, bank_cap)`` -> derived factors;
+- *nest lowering*: per top-level loop nest, keyed on statement
+  fingerprints (incremental lowering splices unchanged nests);
+- *reports*: per estimator instance, keyed on function fingerprints;
+- *isl kernels*: global process-wide memo tables
+  (:mod:`repro.isl.memo`).
+
+``cache=False`` disables every layer (including the global isl tables
+for the duration of the call) so measured speedups compare genuinely
+uncached runs; cached and uncached searches visit identical design
+points and return bit-identical results.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.dsl.function import Function
 from repro.dsl.schedule import Schedule
 from repro.depgraph.graph import build_dependence_graph
 from repro.affine.ir import AffineStoreOp, FuncOp
-from repro.affine.lowering import lower_program
+from repro.affine.lowering import lower_program_incremental
 from repro.hls.device import FPGADevice, XC7Z020
 from repro.hls.estimator import HlsEstimator
-from repro.hls.report import SynthesisReport
+from repro.hls.report import SynthesisReport, speedup
+from repro.isl import memo as _isl_memo
 from repro.polyir.program import PolyProgram
 from repro.dse.stage1 import Stage1Plan, plan_stage1
 from repro.dse.stage2 import (
@@ -32,6 +52,7 @@ from repro.dse.stage2 import (
     plan_node_config,
     stage1_program,
 )
+from repro.dse.stats import DseStats
 
 MAX_PARALLELISM = 256
 
@@ -47,6 +68,7 @@ class DseResult:
     configs: Dict[str, NodeConfig]
     dse_time_s: float
     evaluations: int
+    stats: Optional[DseStats] = None
 
     def tile_vector(self, node: str) -> List[int]:
         """Paper-style achieved tile sizes for one node."""
@@ -64,9 +86,9 @@ class DseResult:
         ii = self.report.worst_ii() or 1
         return total / ii
 
-    @property
-    def speedup_vs(self):
-        raise AttributeError("use repro.hls.report.speedup(baseline, self.report)")
+    def speedup_vs(self, baseline: SynthesisReport) -> float:
+        """Wall-clock speedup of this design over a baseline report."""
+        return speedup(baseline, self.report)
 
 
 def auto_dse(
@@ -76,13 +98,58 @@ def auto_dse(
     clock_ns: float = 10.0,
     max_parallelism: int = MAX_PARALLELISM,
     keep_existing_schedule: bool = False,
+    cache: bool = True,
 ) -> DseResult:
-    """Run the two-stage DSE and install the best schedule found."""
+    """Run the two-stage DSE and install the best schedule found.
+
+    ``cache=False`` disables all memoization layers (for measurement);
+    the search trajectory and the result are identical either way.
+    """
     start = time.perf_counter()
     device = device or XC7Z020
     budget = device.scaled(resource_fraction) if resource_fraction < 1.0 else device
-    estimator = HlsEstimator(device=device, clock_ns=clock_ns)
+    estimator = HlsEstimator(device=device, clock_ns=clock_ns, memoize_reports=cache)
 
+    stats = DseStats(cache_enabled=cache)
+    isl_before = _isl_memo.stats_snapshot()
+    isl_was_enabled = _isl_memo.set_enabled(cache)
+
+    try:
+        result = _search(
+            function, device, budget, estimator, stats,
+            max_parallelism, keep_existing_schedule, cache,
+        )
+    finally:
+        _isl_memo.set_enabled(isl_was_enabled)
+
+    stats.finish_isl(isl_before, _isl_memo.stats_snapshot())
+    stats.report_hits = estimator.report_hits
+    stats.report_misses = estimator.report_misses
+    stats.total_s = time.perf_counter() - start
+
+    report, configs, plan = result
+    return DseResult(
+        function=function,
+        report=report,
+        schedule=function.schedule.copy(),
+        plan=plan,
+        configs=configs,
+        dse_time_s=stats.total_s,
+        evaluations=stats.evaluations,
+        stats=stats,
+    )
+
+
+def _search(
+    function: Function,
+    device: FPGADevice,
+    budget: FPGADevice,
+    estimator: HlsEstimator,
+    stats: DseStats,
+    max_parallelism: int,
+    keep_existing_schedule: bool,
+    cache: bool,
+) -> Tuple[SynthesisReport, Dict[str, NodeConfig], Stage1Plan]:
     structural = function.structural_directives()
     if not keep_existing_schedule:
         function.reset_schedule()
@@ -91,23 +158,96 @@ def auto_dse(
     saved_partitions = {p.name: p.partition_scheme for p in function.placeholders()}
 
     graph = build_dependence_graph(function, analyze=False)
+    t0 = time.perf_counter()
     plan = plan_stage1(function, graph)
     program = stage1_program(function, plan)
+    stats.stage1_s += time.perf_counter() - t0
 
     nodes = [c.name for c in function.computes]
     parallelism = {name: 1 for name in nodes}
-    evaluations = 0
 
-    def evaluate(par: Dict[str, int], bank_cap: int = 128) -> Tuple[SynthesisReport, Dict[str, NodeConfig], FuncOp]:
-        nonlocal evaluations
-        evaluations += 1
-        configs = {
-            name: plan_node_config(function, plan, name, par[name], program=program)
-            for name in nodes
-        }
-        _install(function, plan, configs, saved_partitions, bank_cap, structural)
-        func_op = lower_program(PolyProgram(function).apply_schedule())
-        return estimator.estimate(func_op), configs, func_op
+    # -- memo layers (all scoped to this call) ------------------------------
+    config_cache: Dict[Tuple[str, int], NodeConfig] = {}
+    eval_cache: Dict[tuple, Tuple[SynthesisReport, Dict[str, NodeConfig], FuncOp]] = {}
+    design_cache: Dict[tuple, Tuple[SynthesisReport, FuncOp]] = {}
+    partitions_cache: Dict[tuple, Dict[str, Tuple[int, ...]]] = {}
+    nest_cache: Optional[Dict[tuple, list]] = {} if cache else None
+
+    def node_config(name: str, degree: int) -> NodeConfig:
+        if not cache:
+            return plan_node_config(function, plan, name, degree, program=program)
+        key = (name, degree)
+        config = config_cache.get(key)
+        if config is None:
+            stats.config_cache_misses += 1
+            config = plan_node_config(function, plan, name, degree, program=program)
+            config_cache[key] = config
+        else:
+            stats.config_cache_hits += 1
+        return config
+
+    def timed_estimate(func_op: FuncOp) -> SynthesisReport:
+        stats.estimations += 1
+        t0 = time.perf_counter()
+        report = estimator.estimate(func_op)
+        stats.estimation_s += time.perf_counter() - t0
+        return report
+
+    def lower_and_estimate(
+        configs_fp: tuple, bank_cap: int
+    ) -> Tuple[SynthesisReport, FuncOp]:
+        """Install partitions, lower, estimate -- with design-level reuse."""
+        pkey = (configs_fp, bank_cap)
+        derived = partitions_cache.get(pkey) if cache else None
+        if derived is None:
+            if cache:
+                stats.partition_cache_misses += 1
+            derived = derive_partitions(function, max_banks=bank_cap)
+            if cache:
+                partitions_cache[pkey] = derived
+        else:
+            stats.partition_cache_hits += 1
+        _apply_partitions(function, saved_partitions, derived)
+
+        partitions_fp = tuple(p.fingerprint() for p in function.placeholders())
+        dkey = (configs_fp, partitions_fp)
+        if cache:
+            hit = design_cache.get(dkey)
+            if hit is not None:
+                stats.design_cache_hits += 1
+                return hit
+            stats.design_cache_misses += 1
+        stats.lowerings += 1
+        t0 = time.perf_counter()
+        scheduled = PolyProgram(function).apply_schedule()
+        func_op = lower_program_incremental(scheduled, cache=nest_cache, stats=stats)
+        stats.lowering_s += time.perf_counter() - t0
+        if nest_cache is None:
+            stats.group_lowerings += len(func_op.body)
+        report = timed_estimate(func_op)
+        if cache:
+            design_cache[dkey] = (report, func_op)
+        return report, func_op
+
+    def evaluate(
+        par: Dict[str, int], bank_cap: int = 128
+    ) -> Tuple[SynthesisReport, Dict[str, NodeConfig], FuncOp]:
+        stats.evaluations += 1
+        configs = {name: node_config(name, par[name]) for name in nodes}
+        configs_fp = tuple(configs[name].fingerprint() for name in nodes)
+        ekey = (configs_fp, bank_cap)
+        if cache:
+            hit = eval_cache.get(ekey)
+            if hit is not None:
+                stats.eval_cache_hits += 1
+                return hit
+            stats.eval_cache_misses += 1
+        _install_schedule(function, plan, configs, structural, program)
+        report, func_op = lower_and_estimate(configs_fp, bank_cap)
+        result = (report, configs, func_op)
+        if cache:
+            eval_cache[ekey] = result
+        return result
 
     report, configs, func_op = evaluate(parallelism)
     best = (report, configs, dict(parallelism), 128)
@@ -121,7 +261,7 @@ def auto_dse(
 
     active = set(nodes)
     while active:
-        latencies = _node_latencies(func_op, estimator)
+        latencies = _node_latencies(func_op, timed_estimate)
         bottleneck = _pick_bottleneck(graph, latencies, active)
         if bottleneck is None:
             break
@@ -138,10 +278,7 @@ def auto_dse(
         # Factor quantization (even-divisor preference, legality) can make
         # a doubled degree produce the exact same configs; that is a no-op
         # step, not a dead end -- keep climbing the ladder.
-        trial_plan = {
-            member: plan_node_config(function, plan, member, trial[member], program=program)
-            for member in members
-        }
+        trial_plan = {member: node_config(member, trial[member]) for member in members}
         if all(
             trial_plan[member].unrolls == configs[member].unrolls
             and trial_plan[member].pipeline_dim == configs[member].pipeline_dim
@@ -166,20 +303,41 @@ def auto_dse(
 
     # Reinstall the best schedule (the last trial may have been rejected).
     report, configs, best_cap = best[0], best[1], best[3]
-    _install(function, plan, configs, saved_partitions, best_cap, structural)
-    func_op = lower_program(PolyProgram(function).apply_schedule())
-    report = estimator.estimate(func_op)
+    _install_schedule(function, plan, configs, structural, program)
+    configs_fp = tuple(configs[name].fingerprint() for name in nodes)
+    report, _ = lower_and_estimate(configs_fp, best_cap)
+    return report, configs, plan
 
-    elapsed = time.perf_counter() - start
-    return DseResult(
-        function=function,
-        report=report,
-        schedule=function.schedule.copy(),
-        plan=plan,
-        configs=configs,
-        dse_time_s=elapsed,
-        evaluations=evaluations,
-    )
+
+def _install_schedule(
+    function: Function,
+    plan: Stage1Plan,
+    configs,
+    structural=(),
+    program: Optional[PolyProgram] = None,
+) -> None:
+    """Install a trial schedule on the function (partitions separate).
+
+    Structural after/fuse directives (algorithm-level loop sharing) are
+    re-added first so they keep their meaning under the new schedule.
+    """
+    function.reset_schedule()
+    for directive in structural:
+        function.schedule.add(directive)
+    for directive in config_directives(function, plan, configs, program=program):
+        function.schedule.add(directive)
+
+
+def _apply_partitions(function: Function, saved_partitions, derived) -> None:
+    """Reset partition schemes to the saved baseline, then apply derived."""
+    for placeholder in function.placeholders():
+        placeholder.partition_scheme = saved_partitions.get(placeholder.name)
+    for name, factors in derived.items():
+        if any(f > 1 for f in factors):
+            placeholder = next(
+                p for p in function.placeholders() if p.name == name
+            )
+            placeholder.partition(list(factors), "cyclic")
 
 
 def _install(
@@ -190,24 +348,11 @@ def _install(
     bank_cap: int = 128,
     structural=(),
 ) -> None:
-    """Install a trial schedule and derived partitions on the function.
-
-    Structural after/fuse directives (algorithm-level loop sharing) are
-    re-added first so they keep their meaning under the new schedule.
-    """
-    function.reset_schedule()
-    for directive in structural:
-        function.schedule.add(directive)
-    for directive in config_directives(function, plan, configs):
-        function.schedule.add(directive)
-    for placeholder in function.placeholders():
-        placeholder.partition_scheme = saved_partitions.get(placeholder.name)
-    for name, factors in derive_partitions(function, max_banks=bank_cap).items():
-        if any(f > 1 for f in factors):
-            placeholder = next(
-                p for p in function.placeholders() if p.name == name
-            )
-            placeholder.partition(list(factors), "cyclic")
+    """Install a trial schedule and derived partitions on the function."""
+    _install_schedule(function, plan, configs, structural)
+    _apply_partitions(
+        function, saved_partitions, derive_partitions(function, max_banks=bank_cap)
+    )
 
 
 def _within_budget(report: SynthesisReport, budget: FPGADevice) -> bool:
@@ -218,14 +363,29 @@ def _within_budget(report: SynthesisReport, budget: FPGADevice) -> bool:
     )
 
 
-def _node_latencies(func_op: FuncOp, estimator: HlsEstimator) -> Dict[str, int]:
-    """Latency attributed to each compute via its top-level loop nest."""
+def _node_latencies(
+    func_op: FuncOp, estimate: Callable[[FuncOp], SynthesisReport]
+) -> Dict[str, int]:
+    """Latency attributed to each compute via its top-level loop nest.
+
+    Per-nest estimates are reused across ladder steps for free: each
+    shell function's fingerprint covers only the one nest (and the
+    partition schemes of arrays it touches), so a memoizing ``estimate``
+    recognizes nests unchanged since the previous evaluation.
+    """
     latencies: Dict[str, int] = {}
     for op in func_op.body:
         shell = FuncOp(func_op.name, func_op.arrays)
-        shell.attributes.update(func_op.attributes)
+        # Deep-copy dict-valued attributes: the shells must never alias
+        # the parent's mutable attribute payloads (e.g. partitions).
+        shell.attributes.update(
+            {
+                key: dict(value) if isinstance(value, dict) else value
+                for key, value in func_op.attributes.items()
+            }
+        )
         shell.body.append(op)
-        cycles = estimator.estimate(shell).total_cycles
+        cycles = estimate(shell).total_cycles
         names = {
             inner.attributes.get("statement")
             for inner in op.walk()

@@ -51,6 +51,18 @@ class NodeConfig:
         factors = dict(self.unrolls)
         return [factors.get(dim, 1) for dim in order]
 
+    def fingerprint(self) -> tuple:
+        """A stable structural fingerprint (hashable; order-sensitive)."""
+        return (self.name, self.pipeline_dim, tuple(self.unrolls))
+
+    def __hash__(self) -> int:
+        return hash(self.fingerprint())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, NodeConfig):
+            return NotImplemented
+        return self.fingerprint() == other.fingerprint()
+
 
 def stage1_program(function: Function, plan: Stage1Plan) -> PolyProgram:
     """The polyhedral program with stage-1 restructuring replayed."""
@@ -159,13 +171,20 @@ def config_directives(
     function: Function,
     plan: Stage1Plan,
     configs: Dict[str, NodeConfig],
+    program: Optional[PolyProgram] = None,
 ) -> List[Directive]:
-    """Full directive list: stage-1 restructuring + stage-2 parallelism."""
+    """Full directive list: stage-1 restructuring + stage-2 parallelism.
+
+    ``program``, when given, must be the stage-1 program of
+    ``(function, plan)`` (see :func:`stage1_program`); passing it avoids
+    replaying stage 1 on every call, which the DSE engine does hundreds
+    of times per search with an unchanged plan.
+    """
     directives: List[Directive] = list(plan.directives)
     pipeline_levels: Dict[str, str] = {}
     final_orders: Dict[str, List[str]] = {}
     final_extents: Dict[str, Dict[str, int]] = {}
-    base_program = stage1_program(function, plan)
+    base_program = program if program is not None else stage1_program(function, plan)
 
     for node, config in configs.items():
         order = list(plan.orders[node])

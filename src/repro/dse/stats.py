@@ -1,0 +1,105 @@
+"""Profiling counters for the DSE evaluation engine.
+
+:class:`DseStats` records how much work one :func:`~repro.dse.engine.auto_dse`
+call performed and how much each caching layer saved: design-point
+evaluations, cache hits/misses per layer (evaluation, design, lowering,
+report, config, partition), the globally memoized isl kernel counters
+(delta over the run), and wall-time per phase (stage 1, lowering, AST
+building, estimation).  Attached to :class:`~repro.dse.engine.DseResult`
+and printed by ``repro dse --stats``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+
+@dataclass
+class DseStats:
+    """Work and cache counters for one DSE run."""
+
+    cache_enabled: bool = True
+
+    # -- work performed -----------------------------------------------------
+    evaluations: int = 0          # design points scored (incl. cache hits)
+    lowerings: int = 0            # full program lowerings requested
+    group_lowerings: int = 0      # top-level nests actually (re)lowered
+    estimations: int = 0          # estimator invocations (incl. memo hits)
+
+    # -- cache layers -------------------------------------------------------
+    eval_cache_hits: int = 0      # (configs, bank_cap) evaluation reuse
+    eval_cache_misses: int = 0
+    design_cache_hits: int = 0    # (configs, partitions) lower+estimate reuse
+    design_cache_misses: int = 0
+    lowering_cache_hits: int = 0  # per-nest incremental lowering reuse
+    lowering_cache_misses: int = 0
+    report_hits: int = 0          # estimator whole-report memo
+    report_misses: int = 0
+    config_cache_hits: int = 0    # (node, parallelism) -> NodeConfig reuse
+    config_cache_misses: int = 0
+    partition_cache_hits: int = 0  # (configs, bank_cap) -> partitions reuse
+    partition_cache_misses: int = 0
+
+    # -- globally memoized isl kernels (delta over this run) ----------------
+    isl_counters: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+
+    # -- wall time ----------------------------------------------------------
+    stage1_s: float = 0.0
+    lowering_s: float = 0.0       # includes astbuild_s
+    astbuild_s: float = 0.0
+    estimation_s: float = 0.0
+    total_s: float = 0.0
+
+    def finish_isl(self, before: Dict[str, Tuple[int, int]], after: Dict[str, Tuple[int, int]]) -> None:
+        """Record isl memo hit/miss deltas between two snapshots."""
+        self.isl_counters = {
+            name: (
+                after[name][0] - before.get(name, (0, 0))[0],
+                after[name][1] - before.get(name, (0, 0))[1],
+            )
+            for name in after
+        }
+
+    def summary(self) -> str:
+        """A human-readable multi-line profile."""
+
+        def rate(hits: int, misses: int) -> str:
+            total = hits + misses
+            if not total:
+                return "-"
+            return f"{100.0 * hits / total:.0f}%"
+
+        lines = [
+            f"dse profile (cache {'on' if self.cache_enabled else 'off'}):",
+            f"  evaluations        {self.evaluations}",
+            f"  lowerings          {self.lowerings}"
+            f" (nests lowered: {self.group_lowerings})",
+            f"  estimations        {self.estimations}",
+            "  cache layer            hits   misses   hit-rate",
+            f"    evaluation         {self.eval_cache_hits:6d} {self.eval_cache_misses:8d}"
+            f"   {rate(self.eval_cache_hits, self.eval_cache_misses):>8}",
+            f"    design             {self.design_cache_hits:6d} {self.design_cache_misses:8d}"
+            f"   {rate(self.design_cache_hits, self.design_cache_misses):>8}",
+            f"    nest lowering      {self.lowering_cache_hits:6d} {self.lowering_cache_misses:8d}"
+            f"   {rate(self.lowering_cache_hits, self.lowering_cache_misses):>8}",
+            f"    report             {self.report_hits:6d} {self.report_misses:8d}"
+            f"   {rate(self.report_hits, self.report_misses):>8}",
+            f"    node config        {self.config_cache_hits:6d} {self.config_cache_misses:8d}"
+            f"   {rate(self.config_cache_hits, self.config_cache_misses):>8}",
+            f"    partitions         {self.partition_cache_hits:6d} {self.partition_cache_misses:8d}"
+            f"   {rate(self.partition_cache_hits, self.partition_cache_misses):>8}",
+        ]
+        for name, (hits, misses) in sorted(self.isl_counters.items()):
+            lines.append(
+                f"    isl {name:<14} {hits:6d} {misses:8d}   {rate(hits, misses):>8}"
+            )
+        lines += [
+            "  wall time:",
+            f"    stage 1            {self.stage1_s * 1e3:8.1f} ms",
+            f"    lowering           {self.lowering_s * 1e3:8.1f} ms"
+            f" (ast build {self.astbuild_s * 1e3:.1f} ms)",
+            f"    estimation         {self.estimation_s * 1e3:8.1f} ms",
+            f"    total              {self.total_s * 1e3:8.1f} ms",
+        ]
+        return "\n".join(lines)

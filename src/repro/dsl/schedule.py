@@ -11,7 +11,7 @@ specification".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import List, Optional, Tuple
 
 
@@ -19,6 +19,12 @@ class Directive:
     """Base class for all scheduling directives."""
 
     compute_name: str
+
+    def fingerprint(self) -> tuple:
+        """A stable structural fingerprint (directive kind + all fields)."""
+        return (type(self).__name__,) + tuple(
+            getattr(self, f.name) for f in fields(self)
+        )
 
 
 @dataclass
@@ -195,6 +201,10 @@ class Schedule:
 
     def copy(self) -> "Schedule":
         return Schedule(list(self.directives))
+
+    def fingerprint(self) -> tuple:
+        """Ordered fingerprint of all directives (order is semantic)."""
+        return tuple(d.fingerprint() for d in self.directives)
 
     def __len__(self) -> int:
         return len(self.directives)

@@ -67,6 +67,7 @@ class HlsEstimator:
         clock_ns: float = DEFAULT_CLOCK_NS,
         dataflow: bool = False,
         share_sequential: bool = True,
+        memoize_reports: bool = True,
     ):
         self.device = device
         self.clock_ns = clock_ns
@@ -89,10 +90,30 @@ class HlsEstimator:
         # programs hundreds of times.
         self._recurrence_memo: Dict[tuple, Tuple[int, int]] = {}
         self._bank_memo: Dict[tuple, int] = {}
+        # Whole-report memo keyed on the function's structural
+        # fingerprint.  Reports are immutable dataclasses, so a cached
+        # instance can be shared freely between callers.
+        self.memoize_reports = memoize_reports
+        self._report_memo: Dict[tuple, SynthesisReport] = {}
+        self.report_hits = 0
+        self.report_misses = 0
 
     # -- public API ---------------------------------------------------------
 
     def estimate(self, func: FuncOp) -> SynthesisReport:
+        if self.memoize_reports:
+            key = func.fingerprint()
+            cached = self._report_memo.get(key)
+            if cached is not None:
+                self.report_hits += 1
+                return cached
+            self.report_misses += 1
+            report = self._estimate_uncached(func)
+            self._report_memo[key] = report
+            return report
+        return self._estimate_uncached(func)
+
+    def _estimate_uncached(self, func: FuncOp) -> SynthesisReport:
         partitions = func.attributes.get("partitions", {})
         if self.dataflow:
             result = self._dataflow_block(func.body, {}, partitions)

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.isl import memo as _memo
 from repro.isl.affine import AffineExpr
 from repro.isl.constraint import GE, Constraint
 from repro.isl.maps import ScheduleMap
@@ -253,7 +254,26 @@ class AstBuilder:
 
     @staticmethod
     def _implied(context: BasicSet, constraint: Constraint) -> bool:
-        """Whether ``context`` entails ``constraint`` over the integers."""
+        """Whether ``context`` entails ``constraint`` over the integers.
+
+        The inner kernel every lowering repeats: leaf guards re-test the
+        same (context, constraint) pairs across DSE trials, so results
+        are memoized globally (both inputs are immutable and the result
+        is a bool, which cannot diverge under constraint reordering).
+        """
+        key = None
+        if _memo.enabled():
+            key = (context, constraint)
+            cached = _memo.IMPLIED.get(key)
+            if cached is not None:
+                return cached
+        result = AstBuilder._implied_uncached(context, constraint)
+        if key is not None:
+            _memo.IMPLIED.put(key, result)
+        return result
+
+    @staticmethod
+    def _implied_uncached(context: BasicSet, constraint: Constraint) -> bool:
         dims = set(context.dims) | set(constraint.dims())
         base = BasicSet(tuple(sorted(dims)), []).with_constraints(
             c for c in context.constraints

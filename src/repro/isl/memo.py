@@ -1,0 +1,102 @@
+"""Global memo tables for the hot isl kernels.
+
+The integer-set library sits at the bottom of every lowering: each
+AST build projects domains with Fourier-Motzkin elimination, tests
+emptiness, and derives loop bounds, and a DSE run re-lowers
+near-identical programs hundreds of times.  All of those kernels are
+pure functions of immutable inputs (:class:`~repro.isl.sets.BasicSet`
+and :class:`~repro.isl.constraint.Constraint` never mutate), so their
+results can be memoized globally and shared across lowerings.
+
+Keys are *order-sensitive* structural tuples (dims + constraint tuples,
+not frozensets) for value-producing kernels: a given input always maps
+to exactly the result a fresh computation would produce, so memoized
+and unmemoized runs stay bit-identical.  Boolean kernels (emptiness,
+implication) may key on order-insensitive forms since a bool cannot
+diverge.
+
+The tables can be disabled globally (``set_enabled(False)``) so the DSE
+engine's ``cache=False`` escape hatch measures genuinely uncached runs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+_ENABLED = True
+
+
+class MemoTable:
+    """A bounded dict-backed memo table with hit/miss counters.
+
+    When the table exceeds ``cap`` entries it is cleared wholesale: the
+    working sets of this library are small and bursty (one compilation's
+    constraint systems), so wholesale eviction is both simple and
+    effectively LRU at the granularity that matters.
+    """
+
+    __slots__ = ("name", "cap", "data", "hits", "misses")
+
+    _MISS = object()
+
+    def __init__(self, name: str, cap: int = 65536):
+        self.name = name
+        self.cap = cap
+        self.data: Dict[Any, Any] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key):
+        """The cached value, or None on a miss (values are never None)."""
+        value = self.data.get(key, self._MISS)
+        if value is self._MISS:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return value
+
+    def put(self, key, value) -> None:
+        if len(self.data) >= self.cap:
+            self.data.clear()
+        self.data[key] = value
+
+    def clear(self) -> None:
+        self.data.clear()
+
+    def reset_counters(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+
+#: Fourier-Motzkin projection results: (dims, constraints, name) -> BasicSet.
+PROJECTION = MemoTable("projection")
+#: Rational emptiness results: BasicSet -> bool.
+EMPTINESS = MemoTable("emptiness")
+#: Loop-bound extraction: (dims, constraints, name, context) -> bounds.
+BOUNDS = MemoTable("bounds")
+#: AST-build implication tests: (context, constraint) -> bool.
+IMPLIED = MemoTable("implied")
+
+ALL_TABLES = (PROJECTION, EMPTINESS, BOUNDS, IMPLIED)
+
+
+def enabled() -> bool:
+    return _ENABLED
+
+
+def set_enabled(flag: bool) -> bool:
+    """Enable/disable all isl memo tables; returns the previous setting."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(flag)
+    return previous
+
+
+def stats_snapshot() -> Dict[str, Tuple[int, int]]:
+    """Current (hits, misses) per table, keyed by table name."""
+    return {table.name: (table.hits, table.misses) for table in ALL_TABLES}
+
+
+def clear_all() -> None:
+    for table in ALL_TABLES:
+        table.clear()

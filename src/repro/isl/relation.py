@@ -145,6 +145,18 @@ class BasicMap:
         point.update(outputs)
         return self.wrapped.contains(point)
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BasicMap):
+            return NotImplemented
+        return (
+            self.in_dims == other.in_dims
+            and self.out_dims == other.out_dims
+            and self.wrapped == other.wrapped
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.in_dims, self.out_dims, self.wrapped))
+
     def __repr__(self):
         body = " and ".join(str(c) for c in self.wrapped.constraints) or "true"
         return (

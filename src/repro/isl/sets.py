@@ -16,6 +16,7 @@ import math
 from fractions import Fraction
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
+from repro.isl import memo as _memo
 from repro.isl.affine import AffineExpr, ExprLike
 from repro.isl.constraint import EQ, GE, Constraint
 
@@ -71,11 +72,12 @@ class LoopBound:
 class BasicSet:
     """A conjunction of affine constraints over an ordered dimension tuple."""
 
-    __slots__ = ("dims", "constraints")
+    __slots__ = ("dims", "constraints", "_hash")
 
     def __init__(self, dims: Sequence[str], constraints: Iterable[Constraint] = ()):
         if len(set(dims)) != len(dims):
             raise ValueError(f"duplicate dimension names in {dims!r}")
+        self._hash: Optional[int] = None
         self.dims: Tuple[str, ...] = tuple(dims)
         seen = set()
         kept: List[Constraint] = []
@@ -154,12 +156,26 @@ class BasicSet:
         return result.with_constraints(extra)
 
     def drop_dim(self, name: str) -> "BasicSet":
-        """Project out a dimension via Fourier-Motzkin elimination."""
+        """Project out a dimension via Fourier-Motzkin elimination.
+
+        Elimination results are memoized globally (sets are immutable;
+        the key is the exact ordered constraint system, so a memoized
+        result is bit-identical to a fresh computation).
+        """
         if name not in self.dims:
             raise ValueError(f"unknown dimension {name!r}")
+        key = None
+        if _memo.enabled():
+            key = (self.dims, self.constraints, name)
+            cached = _memo.PROJECTION.get(key)
+            if cached is not None:
+                return cached
         constraints = _eliminate(list(self.constraints), name)
         remaining = tuple(d for d in self.dims if d != name)
-        return BasicSet(remaining, constraints)
+        result = BasicSet(remaining, constraints)
+        if key is not None:
+            _memo.PROJECTION.put(key, result)
+        return result
 
     def project_onto(self, keep: Sequence[str]) -> "BasicSet":
         """Project out every dimension not in ``keep``."""
@@ -181,6 +197,18 @@ class BasicSet:
         :mod:`repro.isl.constraint`), which keeps the test exact for the
         loop-bound style sets this library manipulates.
         """
+        key = None
+        if _memo.enabled():
+            key = self
+            cached = _memo.EMPTINESS.get(key)
+            if cached is not None:
+                return cached
+        result = self._is_empty_uncached()
+        if key is not None:
+            _memo.EMPTINESS.put(key, result)
+        return result
+
+    def _is_empty_uncached(self) -> bool:
         constraints = list(self.constraints)
         if any(c.is_contradiction() for c in constraints):
             return True
@@ -202,6 +230,12 @@ class BasicSet:
         upper bound ``floor(e / -a)`` -- exactly how isl's ast_build
         derives loop bounds.
         """
+        key = None
+        if _memo.enabled():
+            key = (self.dims, self.constraints, name, tuple(context))
+            cached = _memo.BOUNDS.get(key)
+            if cached is not None:
+                return list(cached[0]), list(cached[1])
         keep = list(context) + [name]
         projected = self.project_onto(keep)
         lowers: List[LoopBound] = []
@@ -225,7 +259,10 @@ class BasicSet:
                         uppers.append(LoopBound(-rest, a, is_lower=False))
                     else:
                         lowers.append(LoopBound(rest, -a, is_lower=True))
-        return _dedupe(lowers), _dedupe(uppers)
+        lowers, uppers = _dedupe(lowers), _dedupe(uppers)
+        if key is not None:
+            _memo.BOUNDS.put(key, (tuple(lowers), tuple(uppers)))
+        return lowers, uppers
 
     def constant_bounds(self, name: str) -> Tuple[Optional[int], Optional[int]]:
         """Constant lower/upper bounds of a dimension, if they exist."""
@@ -284,7 +321,9 @@ class BasicSet:
         return self.dims == other.dims and set(self.constraints) == set(other.constraints)
 
     def __hash__(self) -> int:
-        return hash((self.dims, frozenset(self.constraints)))
+        if self._hash is None:
+            self._hash = hash((self.dims, frozenset(self.constraints)))
+        return self._hash
 
     def __repr__(self) -> str:
         body = " and ".join(str(c) for c in self.constraints) or "true"

@@ -149,6 +149,37 @@ class PolyProgram:
         self._annotate(ast)
         return ast
 
+    def toplevel_groups(self) -> List[List[PolyStatement]]:
+        """Statements grouped by their outermost static dim, in order.
+
+        Each group is one top-level loop nest (or statement sequence) of
+        the generated code: the AST builder partitions statements by
+        ``statics[0]`` at the root, so groups lower independently.  This
+        is the unit of reuse for incremental lowering.
+        """
+        buckets: Dict[int, List[PolyStatement]] = {}
+        for stmt in self.statements:
+            buckets.setdefault(stmt.statics[0], []).append(stmt)
+        return [buckets[key] for key in sorted(buckets)]
+
+    def build_ast_for(self, statements: List[PolyStatement]) -> AstNode:
+        """Build the annotated AST of a subset of this program's statements.
+
+        Valid only for subsets closed under top-level grouping (one or
+        more whole :meth:`toplevel_groups` entries): within such a subset
+        the AST builder makes exactly the same grouping and ordering
+        decisions as the global build, so the per-group ASTs concatenated
+        in static order equal the full :meth:`build_ast` result.
+        """
+        builder = AstBuilder()
+        records = [
+            (stmt.name, stmt.domain, stmt.schedule_map(), stmt)
+            for stmt in statements
+        ]
+        ast = builder.build(records)
+        self._annotate(ast)
+        return ast
+
     def _annotate(self, ast: AstNode) -> None:
         """Attach hardware-optimization info to the matching for-nodes.
 

@@ -123,6 +123,27 @@ class PolyStatement:
 
     # -- misc ----------------------------------------------------------------------
 
+    def fingerprint(self) -> tuple:
+        """A stable structural fingerprint of the scheduled statement.
+
+        Two statements with equal fingerprints produce identical AST
+        subtrees and lowered code: the fingerprint covers the exact
+        (order-sensitive) domain representation, the full 2d+1 schedule,
+        the rewritten body/destination (via their structural reprs), and
+        the attached hardware annotations.  Used by the incremental
+        lowering cache to decide whether a loop nest can be reused.
+        """
+        return (
+            self.name,
+            self.domain.dims,
+            self.domain.constraints,
+            tuple(self.loop_order),
+            tuple(self.statics),
+            repr(self.body),
+            repr(self.dest),
+            tuple(self.hw_opts),
+        )
+
     def copy(self) -> "PolyStatement":
         return replace(
             self,

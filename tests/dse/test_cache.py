@@ -1,0 +1,156 @@
+"""The memoized DSE evaluation engine: cached == uncached, bit for bit."""
+
+import pytest
+
+from repro.affine import print_func
+from repro.affine.lowering import lower_program, lower_program_incremental
+from repro.dse import auto_dse
+from repro.dse.engine import _node_latencies
+from repro.dse.stats import DseStats
+from repro.hls.estimator import HlsEstimator
+from repro.hls.report import speedup
+from repro.polyir.program import PolyProgram
+from repro.workloads import ALL_SUITES, polybench
+
+CACHE_WORKLOADS = ["gemm", "bicg", "mm2", "mm3", "gesummv"]
+
+
+def _schedule_fps(result):
+    return [d.fingerprint() for d in result.schedule]
+
+
+class TestCachedEqualsUncached:
+    """auto_dse(f) and auto_dse(f, cache=False) are interchangeable."""
+
+    @pytest.mark.parametrize("name", CACHE_WORKLOADS)
+    def test_identical_results(self, name):
+        factory = getattr(polybench, name)
+        uncached = auto_dse(factory(64), cache=False)
+        cached = auto_dse(factory(64), cache=True)
+        assert cached.report == uncached.report
+        assert _schedule_fps(cached) == _schedule_fps(uncached)
+        assert cached.tile_vectors() == uncached.tile_vectors()
+        assert cached.evaluations == uncached.evaluations
+        # The installed schedules lower to byte-identical MLIR.
+        assert print_func(cached.function.lower()) == print_func(
+            uncached.function.lower()
+        )
+
+
+class TestIncrementalLowering:
+    """Per-nest lowering splices exactly what a full lowering produces."""
+
+    @pytest.mark.parametrize(
+        "name",
+        sorted({name for suite in ALL_SUITES.values() for name in suite}),
+    )
+    def test_equivalent_to_full_lowering(self, name):
+        registry = {}
+        for suite in ALL_SUITES.values():
+            registry.update(suite)
+        function = registry[name]()
+        program = PolyProgram(function).apply_schedule()
+        full = print_func(lower_program(program))
+        incremental = print_func(lower_program_incremental(program, cache={}))
+        assert incremental == full
+
+    def test_unchanged_nests_are_reused_by_reference(self):
+        function = polybench.mm2(32)
+        cache = {}
+        program = PolyProgram(function).apply_schedule()
+        first = lower_program_incremental(program, cache=cache)
+        second = lower_program_incremental(
+            PolyProgram(function).apply_schedule(), cache=cache
+        )
+        assert [op for op in first.body] == [op for op in second.body]
+
+    def test_cache_counters_feed_stats(self):
+        function = polybench.gemm(32)
+        cache = {}
+        stats = DseStats()
+        program = PolyProgram(function).apply_schedule()
+        lower_program_incremental(program, cache=cache, stats=stats)
+        assert stats.lowering_cache_misses >= 1
+        lower_program_incremental(
+            PolyProgram(function).apply_schedule(), cache=cache, stats=stats
+        )
+        assert stats.lowering_cache_hits >= 1
+
+
+class TestSpeedupVs:
+    def test_speedup_vs_delegates_to_report_speedup(self):
+        function = polybench.gemm(64)
+        baseline = function.estimate()
+        result = auto_dse(function)
+        assert result.speedup_vs(baseline) == speedup(baseline, result.report)
+        assert result.speedup_vs(baseline) > 1.0
+
+
+class TestNodeLatencies:
+    def test_estimation_cannot_mutate_parent_attributes(self):
+        function = polybench.mm2(32)
+        result = auto_dse(function)
+        func_op = lower_program(PolyProgram(function).apply_schedule())
+        before = {
+            name: scheme
+            for name, scheme in func_op.attributes.get("partitions", {}).items()
+        }
+        estimator = HlsEstimator()
+
+        def hostile_estimate(shell):
+            # A consumer scribbling on the shell must not reach the parent.
+            shell.attributes.setdefault("partitions", {})["__corrupted__"] = object()
+            return estimator.estimate(shell)
+
+        latencies = _node_latencies(func_op, hostile_estimate)
+        assert latencies  # sanity: something was attributed
+        assert "__corrupted__" not in func_op.attributes.get("partitions", {})
+        assert func_op.attributes.get("partitions", {}) == before
+
+
+class TestDseStats:
+    def test_result_carries_stats(self):
+        result = auto_dse(polybench.gemm(64))
+        stats = result.stats
+        assert stats is not None
+        assert stats.cache_enabled
+        assert stats.evaluations == result.evaluations
+        assert stats.total_s > 0
+        assert stats.lowerings >= 1
+        assert stats.estimations >= stats.lowerings
+        assert set(stats.isl_counters) == {
+            "projection", "emptiness", "bounds", "implied",
+        }
+        assert "dse profile" in stats.summary()
+
+    def test_uncached_run_reports_cache_off(self):
+        result = auto_dse(polybench.gemm(32), cache=False)
+        stats = result.stats
+        assert not stats.cache_enabled
+        # No layer may claim a hit when caching is disabled.
+        assert stats.eval_cache_hits == 0
+        assert stats.design_cache_hits == 0
+        assert stats.lowering_cache_hits == 0
+        assert stats.report_hits == 0
+        assert stats.config_cache_hits == 0
+        assert stats.partition_cache_hits == 0
+        assert all(hits == 0 for hits, _ in stats.isl_counters.values())
+
+
+@pytest.mark.perfsmoke
+def test_perfsmoke_cached_dse():
+    """One cached DSE run: caching engages, the search does not shrink."""
+    uncached = auto_dse(polybench.mm2(64), cache=False)
+    cached = auto_dse(polybench.mm2(64), cache=True)
+    stats = cached.stats
+    layer_hits = (
+        stats.eval_cache_hits
+        + stats.design_cache_hits
+        + stats.lowering_cache_hits
+        + stats.report_hits
+        + stats.config_cache_hits
+        + stats.partition_cache_hits
+    )
+    assert layer_hits > 0
+    assert cached.evaluations <= uncached.evaluations
+    assert cached.report == uncached.report
