@@ -46,6 +46,7 @@ def lower_program_incremental(
     program: PolyProgram,
     cache: Optional[Dict[tuple, List]] = None,
     stats=None,
+    verify: bool = False,
 ) -> FuncOp:
     """Lower a program, re-lowering only top-level nests not seen before.
 
@@ -61,15 +62,21 @@ def lower_program_incremental(
     ``stats``, when given, must expose ``group_lowerings``,
     ``lowering_cache_hits``/``lowering_cache_misses`` counters and an
     ``astbuild_s`` accumulator (see :class:`repro.dse.stats.DseStats`).
+
+    With ``verify``, the structural verifier runs on the assembled
+    function whenever at least one group was freshly lowered (cached
+    groups were already verified when first built).
     """
     if cache is None:
         return lower_program(program)
     function = program.function
     func = FuncOp(function.name, function.placeholders())
+    freshly_lowered = False
     for group in program.toplevel_groups():
         key = tuple(stmt.fingerprint() for stmt in group)
         ops = cache.get(key)
         if ops is None:
+            freshly_lowered = True
             if stats is not None:
                 stats.lowering_cache_misses += 1
                 stats.group_lowerings += 1
@@ -92,6 +99,10 @@ def lower_program_incremental(
     }
     if partitions:
         func.attributes["partitions"] = partitions
+    if verify and freshly_lowered:
+        from repro.affine.passes.verify import verify_func
+
+        verify_func(func).raise_if_errors()
     return func
 
 

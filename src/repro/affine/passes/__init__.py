@@ -1,0 +1,35 @@
+"""Pass infrastructure, canonicalization, and verification passes.
+
+Split across submodules -- :mod:`base` (pass manager), :mod:`canonicalize`
+(normal-form rewrites), :mod:`verify` (the structural verifier and its
+diagnostics-based :func:`verify_func` entry point), :mod:`pragmas`
+(dependence hints) -- with everything re-exported here so
+``from repro.affine.passes import ...`` keeps working.
+"""
+
+from repro.affine.passes.base import Pass, PassError, PassManager
+from repro.affine.passes.canonicalize import (
+    DropDeadAnnotations,
+    DropEmptyLoops,
+    FoldConstantGuards,
+    PromoteTripOneLoops,
+    canonicalize,
+    default_pipeline,
+)
+from repro.affine.passes.pragmas import InsertDependencePragmas
+from repro.affine.passes.verify import VerifyStructure, verify_func
+
+__all__ = [
+    "Pass",
+    "PassError",
+    "PassManager",
+    "DropDeadAnnotations",
+    "DropEmptyLoops",
+    "FoldConstantGuards",
+    "PromoteTripOneLoops",
+    "canonicalize",
+    "default_pipeline",
+    "InsertDependencePragmas",
+    "VerifyStructure",
+    "verify_func",
+]

@@ -1,0 +1,76 @@
+"""Pass infrastructure for the affine dialect.
+
+Mirrors MLIR's pass manager in miniature: passes transform a
+:class:`~repro.affine.ir.FuncOp` in place and report whether they
+changed anything; the :class:`PassManager` runs a pipeline and can
+iterate to a fixed point.  Like MLIR, the manager re-verifies the
+function after every pass that changed it (``verify_each=False``
+disables this for hot paths such as the DSE inner loop).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.affine.ir import FuncOp
+
+
+class PassError(RuntimeError):
+    """A verification failure or an ill-formed pass pipeline."""
+
+
+class Pass:
+    """Base class: ``run`` returns True when it modified the function."""
+
+    name = "pass"
+
+    def run(self, func: FuncOp) -> bool:
+        raise NotImplementedError
+
+
+class PassManager:
+    """Runs a pass pipeline, optionally iterating to a fixed point.
+
+    With ``verify_each`` (the default) the structural verifier runs
+    after every pass that reports a change, so a broken rewrite is
+    caught at the pass that introduced it rather than at code
+    generation.
+    """
+
+    def __init__(
+        self,
+        passes: Optional[List[Pass]] = None,
+        max_iterations: int = 8,
+        verify_each: bool = True,
+    ):
+        self.passes = passes if passes is not None else []
+        self.max_iterations = max_iterations
+        self.verify_each = verify_each
+
+    def add(self, pass_: Pass) -> "PassManager":
+        self.passes.append(pass_)
+        return self
+
+    def run(self, func: FuncOp, to_fixed_point: bool = False) -> bool:
+        changed_any = False
+        for _ in range(self.max_iterations if to_fixed_point else 1):
+            changed = False
+            for pass_ in self.passes:
+                pass_changed = pass_.run(func)
+                if pass_changed and self.verify_each:
+                    self._verify_after(pass_, func)
+                changed |= pass_changed
+            changed_any |= changed
+            if not changed:
+                break
+        return changed_any
+
+    @staticmethod
+    def _verify_after(pass_: Pass, func: FuncOp) -> None:
+        from repro.affine.passes.verify import verify_func
+
+        engine = verify_func(func)
+        if engine.has_errors:
+            raise PassError(
+                f"verification failed after pass {pass_.name!r}:\n{engine.render()}"
+            )

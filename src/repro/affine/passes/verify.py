@@ -1,0 +1,245 @@
+"""The affine IR structural verifier.
+
+:func:`verify_func` walks a :class:`~repro.affine.ir.FuncOp` and
+collects every violated invariant into a
+:class:`~repro.diagnostics.DiagnosticEngine` -- the invariants the
+backend, interpreter, and estimator all rely on:
+
+* ``VER001`` every loop iterator is unique along its nesting path;
+* ``VER002`` load/store ranks match their arrays' shapes;
+* ``VER003`` every dim referenced by an index, bound, or guard is a
+  live iterator;
+* ``VER004`` HLS pragma attributes follow their schemas (pipeline II,
+  unroll factor, dependence hints, array partitions);
+* ``VER005`` blocks hold only the expected op kinds and regions are
+  well-formed;
+* ``VER006`` constant loop bounds describe a non-degenerate range
+  (warning -- zero-trip loops are canonicalized away, not wrong).
+
+:class:`VerifyStructure` wraps the same checks as a :class:`Pass` that
+raises :class:`PassError` on the first error, preserving the original
+exception-style contract.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.affine.ir import (
+    AffineForOp,
+    AffineIfOp,
+    AffineLoadOp,
+    AffineStoreOp,
+    ArithOp,
+    Block,
+    CallOp,
+    CastOp,
+    ConstantOp,
+    FuncOp,
+    IndexOp,
+    ValueOp,
+)
+from repro.affine.passes.base import Pass, PassError
+from repro.diagnostics import DiagnosticEngine, SourceLocation
+from repro.dsl.placeholder import PartitionScheme
+from repro.isl.affine import AffineExpr
+
+
+def verify_func(
+    func: FuncOp, engine: Optional[DiagnosticEngine] = None
+) -> DiagnosticEngine:
+    """Collect every structural-invariant violation in ``func``."""
+    if engine is None:
+        engine = DiagnosticEngine()
+    _Verifier(func, engine).run()
+    return engine
+
+
+class _Verifier:
+    def __init__(self, func: FuncOp, engine: DiagnosticEngine):
+        self.func = func
+        self.engine = engine
+        self.loc = SourceLocation(function=func.name)
+
+    def error(self, code: str, message: str, notes=()) -> None:
+        self.engine.error(code, message, location=self.loc, notes=notes)
+
+    def run(self) -> None:
+        self._check_func_attributes()
+        self._verify_block(self.func.body, [])
+
+    # -- function-level attribute schemas ----------------------------------
+
+    def _check_func_attributes(self) -> None:
+        partitions = self.func.attributes.get("partitions")
+        if partitions is None:
+            return
+        if not isinstance(partitions, dict):
+            self.error(
+                "VER004",
+                f"'partitions' attribute must be a dict, got {type(partitions).__name__}",
+            )
+            return
+        array_names = {a.name for a in self.func.arrays}
+        for name, scheme in partitions.items():
+            if name not in array_names:
+                self.error(
+                    "VER004", f"partition scheme for unknown array {name!r}"
+                )
+                continue
+            if not isinstance(scheme, PartitionScheme):
+                self.error(
+                    "VER004",
+                    f"partition scheme for {name!r} must be a PartitionScheme, "
+                    f"got {type(scheme).__name__}",
+                )
+                continue
+            shape = self.func.array(name).shape
+            if len(scheme.factors) != len(shape):
+                self.error(
+                    "VER004",
+                    f"array {name!r}: {len(shape)} dims but "
+                    f"{len(scheme.factors)} partition factors",
+                )
+
+    # -- structured ops ----------------------------------------------------
+
+    def _verify_block(self, block: Block, iterators: List[str]) -> None:
+        for op in block:
+            if isinstance(op, AffineForOp):
+                self._verify_for(op, iterators)
+            elif isinstance(op, AffineIfOp):
+                self._verify_if(op, iterators)
+            elif isinstance(op, AffineStoreOp):
+                self._verify_store(op, iterators)
+            else:
+                self.error("VER005", f"unexpected op {op!r} in block")
+
+    def _verify_for(self, op: AffineForOp, iterators: List[str]) -> None:
+        if op.iterator in iterators:
+            self.error(
+                "VER001",
+                f"loop iterator {op.iterator!r} shadows an enclosing loop",
+                notes=(f"enclosing iterators: {', '.join(iterators)}",),
+            )
+        if not op.lowers or not op.uppers:
+            self.error("VER005", f"loop {op.iterator!r} has no bounds")
+        for bound in list(op.lowers) + list(op.uppers):
+            self._check_dims(bound.expr, iterators, f"bound of loop {op.iterator!r}")
+            if bound.divisor < 1:
+                self.error(
+                    "VER005",
+                    f"bound of loop {op.iterator!r} has divisor {bound.divisor}",
+                )
+        trip = op.constant_trip_count() if op.lowers and op.uppers else None
+        if trip == 0:
+            self.engine.warning(
+                "VER006",
+                f"loop {op.iterator!r} has constant trip count 0",
+                location=self.loc,
+                notes=("run canonicalize() to delete zero-trip loops",),
+            )
+        self._check_pragmas(op)
+        self._verify_block(op.body, iterators + [op.iterator])
+
+    def _check_pragmas(self, op: AffineForOp) -> None:
+        pipeline = op.attributes.get("pipeline")
+        if pipeline is not None and (
+            not isinstance(pipeline, int) or pipeline < 1
+        ):
+            self.error(
+                "VER004",
+                f"loop {op.iterator!r}: pipeline II must be an int >= 1, "
+                f"got {pipeline!r}",
+            )
+        unroll = op.attributes.get("unroll")
+        if unroll is not None and (not isinstance(unroll, int) or unroll < 0):
+            self.error(
+                "VER004",
+                f"loop {op.iterator!r}: unroll factor must be an int >= 0 "
+                f"(0 = complete), got {unroll!r}",
+            )
+        dependence = op.attributes.get("dependence")
+        if dependence is not None and (
+            not isinstance(dependence, list)
+            or not all(isinstance(h, str) for h in dependence)
+        ):
+            self.error(
+                "VER004",
+                f"loop {op.iterator!r}: dependence hints must be a list of "
+                f"strings, got {dependence!r}",
+            )
+
+    def _verify_if(self, op: AffineIfOp, iterators: List[str]) -> None:
+        if not op.conditions:
+            self.error("VER005", "affine.if has no conditions")
+        for condition in op.conditions:
+            self._check_dims(condition.expr, iterators, "affine.if guard")
+        self._verify_block(op.body, iterators)
+
+    def _verify_store(self, op: AffineStoreOp, iterators: List[str]) -> None:
+        if len(op.indices) != len(op.array.shape):
+            self.error(
+                "VER002",
+                f"store to {op.array.name!r}: array rank is "
+                f"{len(op.array.shape)} but store has {len(op.indices)} indices",
+            )
+        for index in op.indices:
+            self._check_dims(index, iterators, f"store to {op.array.name!r}")
+        self._verify_value(op.value, iterators)
+
+    # -- value ops ---------------------------------------------------------
+
+    def _verify_value(self, value: ValueOp, iterators: List[str]) -> None:
+        if isinstance(value, AffineLoadOp):
+            if len(value.indices) != len(value.array.shape):
+                self.error(
+                    "VER002",
+                    f"load from {value.array.name!r}: array rank is "
+                    f"{len(value.array.shape)} but load has "
+                    f"{len(value.indices)} indices",
+                )
+            for index in value.indices:
+                self._check_dims(index, iterators, f"load from {value.array.name!r}")
+        elif isinstance(value, IndexOp):
+            self._check_dims(value.expr, iterators, "affine.apply")
+        elif isinstance(value, ArithOp):
+            self._verify_value(value.lhs, iterators)
+            self._verify_value(value.rhs, iterators)
+        elif isinstance(value, CallOp):
+            for operand in value.operands:
+                self._verify_value(operand, iterators)
+        elif isinstance(value, CastOp):
+            self._verify_value(value.operand, iterators)
+        elif not isinstance(value, ConstantOp):
+            self.error("VER005", f"unexpected value {value!r} in expression")
+
+    def _check_dims(
+        self, expr: AffineExpr, iterators: List[str], where: str
+    ) -> None:
+        for name in expr.dims():
+            if name not in iterators:
+                self.error(
+                    "VER003",
+                    f"{where}: references iterator {name!r} which is not live "
+                    f"at this point",
+                    notes=(
+                        f"live iterators: {', '.join(iterators) or '(none)'}",
+                    ),
+                )
+
+
+class VerifyStructure(Pass):
+    """The verifier as a pass: raises :class:`PassError` on the first error.
+
+    Kept for compatibility with the original exception-style contract;
+    new code should prefer :func:`verify_func` and inspect the engine.
+    """
+
+    name = "verify"
+
+    def run(self, func: FuncOp) -> bool:
+        engine = verify_func(func)
+        if engine.has_errors:
+            raise PassError(engine.errors()[0].render())
+        return False

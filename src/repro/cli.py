@@ -6,6 +6,7 @@ Usage examples::
     python -m repro compile gemm --size 256 --dse --emit c
     python -m repro compile bicg --size 1024 --dse --emit report
     python -m repro compile seidel --emit mlir
+    python -m repro verify seidel --load-schedule sched.json
     python -m repro experiment table3 --size 4096
     python -m repro experiment all
 """
@@ -104,10 +105,28 @@ def cmd_dse(args) -> int:
     )
     print(f"tiles: {result.tile_vectors()}")
     print(result.report.summary())
+    if result.quarantine:
+        print(f"quarantined {len(result.quarantine)} candidate(s):")
+        for candidate in result.quarantine:
+            print(
+                f"  parallelism {candidate.parallelism}: "
+                f"{candidate.diagnostic.oneline()}"
+            )
     if args.stats:
         print()
         print(result.stats.summary())
     return 0
+
+
+def cmd_verify(args) -> int:
+    function = _build_workload(args.workload, args.size)
+    if args.load_schedule:
+        from repro.dsl.serialize import load_schedule
+
+        load_schedule(function, args.load_schedule)
+    engine = function.verify()
+    print(engine.render())
+    return 1 if engine.has_errors else 0
 
 
 def cmd_experiment(args) -> int:
@@ -186,6 +205,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable all DSE memoization layers (for measurement)",
     )
     dse_p.set_defaults(func=cmd_dse)
+
+    verify_p = sub.add_parser(
+        "verify",
+        help="run the schedule-legality preflight and IR verifier on a workload",
+    )
+    verify_p.add_argument("workload", help="workload name (see `list`)")
+    verify_p.add_argument("--size", type=int, default=None, help="problem size")
+    verify_p.add_argument(
+        "--load-schedule", metavar="PATH", default=None,
+        help="apply a saved JSON schedule before verifying",
+    )
+    verify_p.set_defaults(func=cmd_verify)
 
     experiment_p = sub.add_parser("experiment", help="regenerate a table/figure")
     experiment_p.add_argument("name", help="experiment id (e.g. table3) or 'all'")

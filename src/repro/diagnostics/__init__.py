@@ -1,0 +1,33 @@
+"""Structured diagnostics for the POM reproduction.
+
+The paper's framework "ensures correctness with automatic validation";
+this package is the reporting substrate for that validation: a
+:class:`Diagnostic` record (severity, stable error code, message, source
+location, notes), a collecting :class:`DiagnosticEngine`, and the
+:class:`DiagnosticError` exception that carries a diagnostic across
+layers while remaining a :class:`ValueError` for backward compatibility.
+
+Error codes are registered in :mod:`repro.diagnostics.codes` and
+documented in ``docs/diagnostics.md``.
+"""
+
+from repro.diagnostics.codes import CODES, describe
+from repro.diagnostics.engine import (
+    Diagnostic,
+    DiagnosticEngine,
+    DiagnosticError,
+    Severity,
+    SourceLocation,
+    caller_location,
+)
+
+__all__ = [
+    "CODES",
+    "describe",
+    "Diagnostic",
+    "DiagnosticEngine",
+    "DiagnosticError",
+    "Severity",
+    "SourceLocation",
+    "caller_location",
+]

@@ -1,0 +1,62 @@
+"""The error-code registry.
+
+Every diagnostic the framework emits carries one of these stable codes
+so tests, logs, and the DSE quarantine can match on *what* failed
+instead of parsing message strings.  Codes group by layer:
+
+* ``DSL0xx`` -- algorithm specification (compute declarations);
+* ``SCH0xx`` -- schedule directives (parameters, application);
+* ``LEG0xx`` -- schedule-legality preflight (dependence violations);
+* ``VER0xx`` -- affine IR structural verifier;
+* ``DSE0xx`` -- design space exploration fault handling;
+* ``RPT0xx`` -- evaluation harness;
+* ``GEN0xx`` -- unclassified.
+
+See ``docs/diagnostics.md`` for the full catalogue with examples.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+CODES: Dict[str, str] = {
+    # -- DSL (algorithm specification) ----------------------------------
+    "DSL001": "invalid compute or iterator declaration",
+    "DSL002": "compute declares no iterators",
+    "DSL003": "compute declares duplicate iterators",
+    "DSL004": "statement references undeclared iterators",
+    # -- schedule directives --------------------------------------------
+    "SCH001": "directive parameter out of range (factor, offset, or target II)",
+    "SCH002": "directive targets an unknown compute",
+    "SCH003": "directive references an unknown loop level",
+    "SCH004": "directive introduces a loop name that is already in use",
+    "SCH005": "directive could not be applied to the polyhedral IR",
+    # -- schedule-legality preflight ------------------------------------
+    "LEG001": "loop reordering would violate a loop-carried dependence",
+    "LEG002": "loop reversal would violate a loop-carried dependence",
+    "LEG003": "loop skew cannot be proven legal",
+    "LEG004": "fusion would read values before they are produced",
+    "LEG005": "pipelined loop carries a dependence (target II may be unachievable)",
+    # -- affine IR verifier ---------------------------------------------
+    "VER001": "duplicate or shadowed loop iterator",
+    "VER002": "load/store rank does not match the array shape",
+    "VER003": "expression references an iterator that is not live",
+    "VER004": "malformed HLS pragma attribute",
+    "VER005": "malformed op or region structure",
+    "VER006": "degenerate loop bounds",
+    # -- design space exploration ---------------------------------------
+    "DSE001": "design-point candidate quarantined",
+    "DSE002": "estimator failed after bounded retries",
+    # -- evaluation harness ---------------------------------------------
+    "RPT001": "experiment failed during evaluation",
+    # -- fallback --------------------------------------------------------
+    "GEN001": "unclassified error",
+}
+
+
+def describe(code: str) -> str:
+    """The one-line description of a registered error code."""
+    try:
+        return CODES[code]
+    except KeyError:
+        raise KeyError(f"unknown diagnostic code {code!r}") from None

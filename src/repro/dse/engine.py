@@ -31,16 +31,23 @@ points and return bit-identical results.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.diagnostics import (
+    Diagnostic,
+    DiagnosticEngine,
+    DiagnosticError,
+    Severity,
+    SourceLocation,
+)
 from repro.dsl.function import Function
 from repro.dsl.schedule import Schedule
 from repro.depgraph.graph import build_dependence_graph
 from repro.affine.ir import AffineStoreOp, FuncOp
 from repro.affine.lowering import lower_program_incremental
 from repro.hls.device import FPGADevice, XC7Z020
-from repro.hls.estimator import HlsEstimator
+from repro.hls.estimator import HlsEstimator, TransientEstimatorError
 from repro.hls.report import SynthesisReport, speedup
 from repro.isl import memo as _isl_memo
 from repro.polyir.program import PolyProgram
@@ -55,6 +62,27 @@ from repro.dse.stage2 import (
 from repro.dse.stats import DseStats
 
 MAX_PARALLELISM = 256
+MAX_ESTIMATOR_RETRIES = 2
+RETRY_BACKOFF_S = 0.05
+
+
+@dataclass
+class QuarantinedCandidate:
+    """A design point whose evaluation failed; excluded from the search.
+
+    The search keeps climbing with the remaining candidates instead of
+    aborting; the failure survives as a structured diagnostic (not a
+    traceback) so ``repro dse`` can report what was skipped and why.
+    A ``bank_cap`` of 0 means the candidate failed while planning its
+    node configurations, before a banking budget was chosen.
+    """
+
+    parallelism: Dict[str, int]
+    bank_cap: int
+    diagnostic: Diagnostic
+
+    def __str__(self) -> str:
+        return self.diagnostic.oneline()
 
 
 @dataclass
@@ -69,6 +97,8 @@ class DseResult:
     dse_time_s: float
     evaluations: int
     stats: Optional[DseStats] = None
+    quarantine: List[QuarantinedCandidate] = field(default_factory=list)
+    diagnostics: List[Diagnostic] = field(default_factory=list)
 
     def tile_vector(self, node: str) -> List[int]:
         """Paper-style achieved tile sizes for one node."""
@@ -111,6 +141,8 @@ def auto_dse(
     estimator = HlsEstimator(device=device, clock_ns=clock_ns, memoize_reports=cache)
 
     stats = DseStats(cache_enabled=cache)
+    engine = DiagnosticEngine()
+    quarantine: List[QuarantinedCandidate] = []
     isl_before = _isl_memo.stats_snapshot()
     isl_was_enabled = _isl_memo.set_enabled(cache)
 
@@ -118,6 +150,7 @@ def auto_dse(
         result = _search(
             function, device, budget, estimator, stats,
             max_parallelism, keep_existing_schedule, cache,
+            engine, quarantine,
         )
     finally:
         _isl_memo.set_enabled(isl_was_enabled)
@@ -137,6 +170,8 @@ def auto_dse(
         dse_time_s=stats.total_s,
         evaluations=stats.evaluations,
         stats=stats,
+        quarantine=quarantine,
+        diagnostics=list(engine.diagnostics),
     )
 
 
@@ -149,6 +184,8 @@ def _search(
     max_parallelism: int,
     keep_existing_schedule: bool,
     cache: bool,
+    engine: DiagnosticEngine,
+    quarantine: List[QuarantinedCandidate],
 ) -> Tuple[SynthesisReport, Dict[str, NodeConfig], Stage1Plan]:
     structural = function.structural_directives()
     if not keep_existing_schedule:
@@ -156,6 +193,15 @@ def _search(
         for directive in structural:
             function.schedule.add(directive)
     saved_partitions = {p.name: p.partition_scheme for p in function.placeholders()}
+
+    # Legality preflight on the directives the search will build upon
+    # (structural after/fuse, or the user's full schedule when kept):
+    # a dependence-violating directive is rejected here, before any
+    # lowering, with a diagnostic naming the violated dependence.
+    from repro.preflight import preflight_schedule
+
+    preflight_schedule(function, engine=engine)
+    engine.raise_if_errors()
 
     graph = build_dependence_graph(function, analyze=False)
     t0 = time.perf_counter()
@@ -186,12 +232,45 @@ def _search(
             stats.config_cache_hits += 1
         return config
 
+    def _diagnostic_of(exc: BaseException) -> Diagnostic:
+        if isinstance(exc, DiagnosticError):
+            return exc.diagnostic
+        return Diagnostic(
+            Severity.ERROR,
+            "DSE001",
+            f"{type(exc).__name__}: {exc}",
+            location=SourceLocation(function=function.name),
+        )
+
+    def quarantine_candidate(
+        exc: BaseException, par: Dict[str, int], bank_cap: int
+    ) -> None:
+        diagnostic = _diagnostic_of(exc)
+        stats.quarantined += 1
+        quarantine.append(QuarantinedCandidate(dict(par), bank_cap, diagnostic))
+        engine.emit(diagnostic)
+
     def timed_estimate(func_op: FuncOp) -> SynthesisReport:
         stats.estimations += 1
         t0 = time.perf_counter()
-        report = estimator.estimate(func_op)
-        stats.estimation_s += time.perf_counter() - t0
-        return report
+        last: Optional[TransientEstimatorError] = None
+        try:
+            for attempt in range(MAX_ESTIMATOR_RETRIES + 1):
+                try:
+                    return estimator.estimate(func_op)
+                except TransientEstimatorError as exc:
+                    last = exc
+                    if attempt < MAX_ESTIMATOR_RETRIES:
+                        stats.estimator_retries += 1
+                        time.sleep(RETRY_BACKOFF_S * (2 ** attempt))
+            raise DiagnosticError(
+                f"estimator failed after {MAX_ESTIMATOR_RETRIES + 1} "
+                f"attempts: {last}",
+                code="DSE002",
+                location=SourceLocation(function=function.name),
+            ) from last
+        finally:
+            stats.estimation_s += time.perf_counter() - t0
 
     def lower_and_estimate(
         configs_fp: tuple, bank_cap: int
@@ -249,7 +328,15 @@ def _search(
             eval_cache[ekey] = result
         return result
 
-    report, configs, func_op = evaluate(parallelism)
+    # The degree-1 baseline must evaluate: without it there is no legal
+    # design to degrade to, so a failure here is fatal (as a diagnostic,
+    # not a traceback).
+    try:
+        report, configs, func_op = evaluate(parallelism)
+    except KeyboardInterrupt:
+        raise
+    except Exception as exc:
+        raise DiagnosticError(_diagnostic_of(exc)) from exc
     best = (report, configs, dict(parallelism), 128)
 
     # Fused statements share one pipeline, so they step together: the
@@ -261,7 +348,20 @@ def _search(
 
     active = set(nodes)
     while active:
-        latencies = _node_latencies(func_op, timed_estimate)
+        try:
+            latencies = _node_latencies(func_op, timed_estimate)
+        except KeyboardInterrupt:
+            raise
+        except Exception as exc:
+            # Bottleneck analysis failed on an already-accepted design:
+            # degrade gracefully to the best design found so far.
+            engine.emit(_diagnostic_of(exc))
+            engine.note(
+                "GEN001",
+                "bottleneck analysis failed; stopping the search at the "
+                "best design found so far",
+            )
+            break
         bottleneck = _pick_bottleneck(graph, latencies, active)
         if bottleneck is None:
             break
@@ -278,7 +378,16 @@ def _search(
         # Factor quantization (even-divisor preference, legality) can make
         # a doubled degree produce the exact same configs; that is a no-op
         # step, not a dead end -- keep climbing the ladder.
-        trial_plan = {member: node_config(member, trial[member]) for member in members}
+        try:
+            trial_plan = {
+                member: node_config(member, trial[member]) for member in members
+            }
+        except KeyboardInterrupt:
+            raise
+        except Exception as exc:
+            quarantine_candidate(exc, trial, 0)
+            active.difference_update(members)
+            continue
         if all(
             trial_plan[member].unrolls == configs[member].unrolls
             and trial_plan[member].pipeline_dim == configs[member].pipeline_dim
@@ -291,7 +400,17 @@ def _search(
         # banks for operator sharing (a larger II lets copies timeshare
         # units -- the paper's BICG [1,32] / II=2 design point).
         for bank_cap in (128, 16, 8):
-            trial_report, trial_configs, trial_func = evaluate(trial, bank_cap)
+            try:
+                trial_report, trial_configs, trial_func = evaluate(trial, bank_cap)
+            except KeyboardInterrupt:
+                raise
+            except Exception as exc:
+                # The trial schedule is installed on the function; its
+                # failure must not abort the sweep.  Quarantine it (the
+                # failure is banking-independent, so other caps are not
+                # retried) and keep searching from the best design.
+                quarantine_candidate(exc, trial, bank_cap)
+                break
             if _within_budget(trial_report, budget) and trial_report.total_cycles < best[0].total_cycles:
                 parallelism = trial
                 best = (trial_report, trial_configs, dict(parallelism), bank_cap)

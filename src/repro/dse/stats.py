@@ -27,6 +27,10 @@ class DseStats:
     group_lowerings: int = 0      # top-level nests actually (re)lowered
     estimations: int = 0          # estimator invocations (incl. memo hits)
 
+    # -- fault tolerance ----------------------------------------------------
+    quarantined: int = 0          # candidate evaluations that failed
+    estimator_retries: int = 0    # transient estimator failures retried
+
     # -- cache layers -------------------------------------------------------
     eval_cache_hits: int = 0      # (configs, bank_cap) evaluation reuse
     eval_cache_misses: int = 0
@@ -76,6 +80,8 @@ class DseStats:
             f"  lowerings          {self.lowerings}"
             f" (nests lowered: {self.group_lowerings})",
             f"  estimations        {self.estimations}",
+            f"  quarantined        {self.quarantined}"
+            f" (estimator retries: {self.estimator_retries})",
             "  cache layer            hits   misses   hit-rate",
             f"    evaluation         {self.eval_cache_hits:6d} {self.eval_cache_misses:8d}"
             f"   {rate(self.eval_cache_hits, self.eval_cache_misses):>8}",

@@ -13,10 +13,12 @@ from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
+from repro.diagnostics import DiagnosticError, caller_location
 from repro.dsl.expr import Access, Expr, wrap
 from repro.dsl.placeholder import Placeholder
 from repro.dsl.schedule import (
     After,
+    Directive,
     Fuse,
     Interchange,
     Pipeline,
@@ -46,13 +48,22 @@ class Compute:
         from repro.dsl.function import current_function
 
         if not name or not name.isidentifier():
-            raise ValueError(f"invalid compute name {name!r}")
+            raise DiagnosticError(
+                f"invalid compute name {name!r}",
+                code="DSL001", location=caller_location(compute=str(name)),
+            )
         iters = list(iters)
         if not iters:
-            raise ValueError(f"compute {name!r} needs at least one iterator")
+            raise DiagnosticError(
+                f"compute {name!r} needs at least one iterator",
+                code="DSL002", location=caller_location(compute=name),
+            )
         names = [it.name for it in iters]
         if len(set(names)) != len(names):
-            raise ValueError(f"compute {name!r} has duplicate iterators {names}")
+            raise DiagnosticError(
+                f"compute {name!r} has duplicate iterators {names}",
+                code="DSL003", location=caller_location(compute=name),
+            )
         for it in iters:
             if not isinstance(it, Var) or not it.has_range:
                 raise TypeError(
@@ -67,8 +78,10 @@ class Compute:
         used = set(self.expr.iter_names()) | set(dest.iter_names())
         unknown = used - set(names)
         if unknown:
-            raise ValueError(
-                f"compute {name!r} references undeclared iterators {sorted(unknown)}"
+            raise DiagnosticError(
+                f"compute {name!r} references undeclared iterators {sorted(unknown)}",
+                code="DSL004", location=caller_location(compute=name),
+                notes=(f"declared iterators: {names}",),
             )
         self.function = function if function is not None else current_function()
         if self.function is not None:
@@ -108,66 +121,70 @@ class Compute:
             )
         return self.function.schedule
 
+    def _add(self, directive: Directive) -> "Compute":
+        """Record a directive, stamping it with the caller's source line.
+
+        Only DSL-facing methods pay for the stack walk; the DSE installs
+        trial directives through ``Schedule.add`` directly, which stays
+        location-free and cheap.
+        """
+        directive.loc = caller_location(
+            function=None if self.function is None else self.function.name,
+            compute=self.name,
+        )
+        self._schedule().add(directive)
+        return self
+
     def interchange(self, i, j) -> "Compute":
         """Interchange loop levels ``i`` and ``j``."""
-        self._schedule().add(Interchange(self.name, _name_of(i), _name_of(j)))
-        return self
+        return self._add(Interchange(self.name, _name_of(i), _name_of(j)))
 
     def split(self, i, factor: int, i0, i1) -> "Compute":
         """Split loop ``i`` by ``factor`` into ``(i0, i1)``."""
-        self._schedule().add(
+        return self._add(
             Split(self.name, _name_of(i), int(factor), _name_of(i0), _name_of(i1))
         )
-        return self
 
     def tile(self, i, j, ti: int, tj: int, i0, j0, i1, j1) -> "Compute":
         """Tile loops ``(i, j)`` by ``(ti, tj)`` into ``(i0, j0, i1, j1)``."""
-        self._schedule().add(
+        return self._add(
             Tile(
                 self.name, _name_of(i), _name_of(j), int(ti), int(tj),
                 _name_of(i0), _name_of(j0), _name_of(i1), _name_of(j1),
             )
         )
-        return self
 
     def skew(self, i, j, factor: int, ip, jp) -> "Compute":
         """Skew loop ``j`` by ``factor * i`` into new levels ``(ip, jp)``."""
-        self._schedule().add(
+        return self._add(
             Skew(self.name, _name_of(i), _name_of(j), int(factor), _name_of(ip), _name_of(jp))
         )
-        return self
 
     def reverse(self, i, i_new) -> "Compute":
         """Reverse the iteration direction of loop ``i``."""
-        self._schedule().add(Reverse(self.name, _name_of(i), _name_of(i_new)))
-        return self
+        return self._add(Reverse(self.name, _name_of(i), _name_of(i_new)))
 
     def shift(self, i, offset: int, i_new) -> "Compute":
         """Translate loop ``i`` by a constant ``offset``."""
-        self._schedule().add(Shift(self.name, _name_of(i), int(offset), _name_of(i_new)))
-        return self
+        return self._add(Shift(self.name, _name_of(i), int(offset), _name_of(i_new)))
 
     def after(self, other: "Compute", level=None) -> "Compute":
         """Execute this compute after ``other`` at loop ``level``."""
-        self._schedule().add(
+        return self._add(
             After(self.name, other.name, None if level is None else _name_of(level))
         )
-        return self
 
     def fuse(self, other: "Compute", level) -> "Compute":
         """Fuse loops with ``other`` down to ``level`` inclusive."""
-        self._schedule().add(Fuse(self.name, other.name, _name_of(level)))
-        return self
+        return self._add(Fuse(self.name, other.name, _name_of(level)))
 
     def pipeline(self, level, ii: int = 1) -> "Compute":
         """Pipeline the loop at ``level`` with target initiation interval."""
-        self._schedule().add(Pipeline(self.name, _name_of(level), int(ii)))
-        return self
+        return self._add(Pipeline(self.name, _name_of(level), int(ii)))
 
     def unroll(self, level, factor: int = 0) -> "Compute":
         """Unroll the loop at ``level`` (factor 0 = complete)."""
-        self._schedule().add(Unroll(self.name, _name_of(level), int(factor)))
-        return self
+        return self._add(Unroll(self.name, _name_of(level), int(factor)))
 
     # -- reference semantics ----------------------------------------------------
 

@@ -143,6 +143,37 @@ class Function:
 
         return estimate(self, device=device)
 
+    def verify(self):
+        """Preflight the schedule and verify the lowered IR.
+
+        Returns a :class:`~repro.diagnostics.DiagnosticEngine` holding
+        every legality violation and structural-invariant failure found;
+        empty (no errors) means the function compiles cleanly.  Lowering
+        is skipped when the preflight already found errors -- applying an
+        illegal schedule would only produce noise.
+        """
+        from repro.diagnostics import DiagnosticEngine, SourceLocation
+        from repro.preflight import preflight_function
+
+        engine = DiagnosticEngine()
+        preflight_function(self, engine)
+        if engine.has_errors:
+            return engine
+        from repro.pipeline import lower_to_affine
+        from repro.affine.passes.verify import verify_func
+
+        try:
+            func = lower_to_affine(self, verify=False)
+        except Exception as exc:  # surface as a diagnostic, not a traceback
+            engine.error(
+                "GEN001",
+                f"lowering failed: {exc}",
+                location=SourceLocation(function=self.name),
+            )
+            return engine
+        verify_func(func, engine)
+        return engine
+
     def auto_DSE(self, device=None, resource_fraction: float = 1.0, **kwargs):
         """Two-stage automatic design space exploration (paper Section VI)."""
         from repro.dse.engine import auto_dse

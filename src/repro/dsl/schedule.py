@@ -14,11 +14,30 @@ from __future__ import annotations
 from dataclasses import dataclass, field, fields
 from typing import List, Optional, Tuple
 
+from repro.diagnostics import DiagnosticError
+
+
+class ScheduleError(DiagnosticError):
+    """An invalid scheduling directive (bad parameter or target).
+
+    Carries a structured diagnostic (code ``SCH001`` for parameter-range
+    errors) while remaining a :class:`ValueError` for compatibility.
+    """
+
+    def __init__(self, message, code: str = "SCH001", **kwargs):
+        super().__init__(message, code=code, **kwargs)
+
 
 class Directive:
     """Base class for all scheduling directives."""
 
     compute_name: str
+
+    # Source location of the DSL call that created this directive, set
+    # by the Compute scheduling methods.  Deliberately NOT a dataclass
+    # field: fingerprints and serialization iterate ``fields()`` and
+    # must not depend on where the directive was written.
+    loc = None
 
     def fingerprint(self) -> tuple:
         """A stable structural fingerprint (directive kind + all fields)."""
@@ -48,7 +67,10 @@ class Split(Directive):
 
     def __post_init__(self):
         if self.factor < 2:
-            raise ValueError(f"split factor must be >= 2, got {self.factor}")
+            raise ScheduleError(
+                f"split of loop {self.i!r} on compute {self.compute_name!r}: "
+                f"factor must be >= 2, got {self.factor}"
+            )
 
 
 @dataclass
@@ -67,7 +89,11 @@ class Tile(Directive):
 
     def __post_init__(self):
         if self.ti < 1 or self.tj < 1:
-            raise ValueError(f"tile factors must be >= 1, got ({self.ti}, {self.tj})")
+            raise ScheduleError(
+                f"tile of loops ({self.i!r}, {self.j!r}) on compute "
+                f"{self.compute_name!r}: factors must be >= 1, got "
+                f"({self.ti}, {self.tj})"
+            )
 
 
 @dataclass
@@ -87,7 +113,10 @@ class Skew(Directive):
 
     def __post_init__(self):
         if self.factor == 0:
-            raise ValueError("skew factor must be non-zero")
+            raise ScheduleError(
+                f"skew of loop {self.j!r} by {self.i!r} on compute "
+                f"{self.compute_name!r}: factor must be non-zero"
+            )
 
 
 @dataclass
@@ -110,7 +139,10 @@ class Shift(Directive):
 
     def __post_init__(self):
         if self.offset == 0:
-            raise ValueError("shift offset must be non-zero")
+            raise ScheduleError(
+                f"shift of loop {self.i!r} on compute {self.compute_name!r}: "
+                f"offset must be non-zero"
+            )
 
 
 @dataclass
@@ -158,7 +190,10 @@ class Pipeline(Directive):
 
     def __post_init__(self):
         if self.ii < 1:
-            raise ValueError(f"target II must be >= 1, got {self.ii}")
+            raise ScheduleError(
+                f"pipeline of loop {self.level!r} on compute "
+                f"{self.compute_name!r}: target II must be >= 1, got {self.ii}"
+            )
 
 
 @dataclass
@@ -171,7 +206,10 @@ class Unroll(Directive):
 
     def __post_init__(self):
         if self.factor < 0:
-            raise ValueError(f"unroll factor must be >= 0, got {self.factor}")
+            raise ScheduleError(
+                f"unroll of loop {self.level!r} on compute "
+                f"{self.compute_name!r}: factor must be >= 0, got {self.factor}"
+            )
 
 
 LOOP_TRANSFORMS = (Interchange, Split, Tile, Skew, Reverse, Shift, After, Fuse)

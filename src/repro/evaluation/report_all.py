@@ -13,8 +13,9 @@ import io
 import sys
 import time
 from contextlib import redirect_stdout
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
+from repro.diagnostics import Diagnostic, Severity, SourceLocation
 from repro.evaluation import ALL_EXPERIMENTS
 
 QUICK_ARGS: Dict[str, dict] = {
@@ -26,9 +27,20 @@ QUICK_ARGS: Dict[str, dict] = {
 }
 
 
-def run_all(quick: bool = False, stream=None) -> str:
-    """Run every experiment; returns (and optionally streams) the report."""
+def run_all(
+    quick: bool = False, stream=None, failures: Optional[List[Diagnostic]] = None
+) -> str:
+    """Run every experiment; returns (and optionally streams) the report.
+
+    A failing experiment does not stop the run: it becomes a structured
+    ``RPT001`` diagnostic (experiment name, exception class, message)
+    rendered in place and repeated in the closing summary section.
+    Callers that need the records programmatically pass a ``failures``
+    list to collect them.
+    """
     out = io.StringIO()
+    if failures is None:
+        failures = []
 
     def emit(text: str = "") -> None:
         out.write(text + "\n")
@@ -51,10 +63,22 @@ def run_all(quick: bool = False, stream=None) -> str:
                     module.main()
             emit(capture.getvalue().rstrip())
         except Exception as exc:  # keep the report going; record the failure
+            diagnostic = Diagnostic(
+                Severity.ERROR,
+                "RPT001",
+                f"experiment {name!r} failed: {type(exc).__name__}: {exc}",
+                location=SourceLocation(function=name),
+            )
+            failures.append(diagnostic)
             emit(capture.getvalue().rstrip())
-            emit(f"FAILED: {exc!r}")
+            emit(diagnostic.render())
         emit(f"[{name}: {time.perf_counter() - start:.1f}s]")
         emit()
+    emit("## summary")
+    total = len(ALL_EXPERIMENTS)
+    emit(f"{total - len(failures)}/{total} experiments succeeded")
+    for diagnostic in failures:
+        emit(diagnostic.oneline())
     return out.getvalue()
 
 
@@ -64,12 +88,17 @@ def main(argv=None) -> int:
                         help="reduced sizes (minutes instead of ~10 min)")
     parser.add_argument("--output", default=None, help="write the report here")
     args = parser.parse_args(argv)
-    report = run_all(quick=args.quick, stream=None if args.output else sys.stdout)
+    failures: List[Diagnostic] = []
+    report = run_all(
+        quick=args.quick,
+        stream=None if args.output else sys.stdout,
+        failures=failures,
+    )
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(report)
         print(f"report written to {args.output}")
-    return 0
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

@@ -51,6 +51,17 @@ from repro.hls.report import LoopReport, Resources, SynthesisReport
 _ENUM_CAP = 4096  # max unrolled copies enumerated exactly for bank analysis
 
 
+class TransientEstimatorError(RuntimeError):
+    """A recoverable estimation failure, worth retrying.
+
+    The analytical model itself never raises this; it is the contract
+    for estimator backends that wrap external tools (a licence-server
+    hiccup, a transient I/O failure) and for fault injection in tests.
+    The DSE retries these with bounded exponential backoff before
+    quarantining the design point (``DSE002``).
+    """
+
+
 @dataclass
 class _Estimate:
     cycles: int

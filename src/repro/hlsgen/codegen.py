@@ -38,8 +38,19 @@ _CALL_SPELLING = {
 }
 
 
-def generate_hls_c(func: FuncOp) -> str:
-    """Emit a complete synthesizable HLS C function."""
+def generate_hls_c(func: FuncOp, verify: bool = True) -> str:
+    """Emit a complete synthesizable HLS C function.
+
+    The structural verifier runs first by default: emitting C from
+    ill-formed IR (rank-mismatched accesses, dead iterator references,
+    malformed pragmas) would produce silently wrong hardware, so it is
+    refused with a diagnostic instead.  ``verify=False`` skips the walk
+    for callers that have already verified (the standard pipeline).
+    """
+    if verify:
+        from repro.affine.passes.verify import verify_func
+
+        verify_func(func).raise_if_errors()
     lines: List[str] = [
         "#include <math.h>",
         "#include <stdint.h>",

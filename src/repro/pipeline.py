@@ -31,9 +31,19 @@ def lower_to_polyhedral(function: Function) -> PolyProgram:
     return lower_function(function)
 
 
-def lower_to_affine(function: Function) -> FuncOp:
-    """Level 3: annotated affine dialect."""
-    return lower_program(lower_to_polyhedral(function))
+def lower_to_affine(function: Function, verify: bool = True) -> FuncOp:
+    """Level 3: annotated affine dialect.
+
+    The structural verifier runs on the result by default (a cheap tree
+    walk); a failure means the lowering itself is broken, so it raises
+    immediately rather than collecting.
+    """
+    func = lower_program(lower_to_polyhedral(function))
+    if verify:
+        from repro.affine.passes.verify import verify_func
+
+        verify_func(func).raise_if_errors()
+    return func
 
 
 def compile_to_hls_c(function: Function, canonicalize_ir: bool = True) -> str:

@@ -11,24 +11,35 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+from repro.diagnostics import DiagnosticError
 from repro.dsl.expr import Expr, IterRef
 from repro.isl.affine import AffineExpr
 from repro.isl.constraint import Constraint
 from repro.polyir.statement import PolyStatement
 
 
-class TransformError(ValueError):
-    """A scheduling directive could not be applied to a statement."""
+class TransformError(DiagnosticError):
+    """A scheduling directive could not be applied to a statement.
+
+    Carries an ``SCH005`` diagnostic by default; still a
+    :class:`ValueError` via :class:`DiagnosticError`.
+    """
+
+    def __init__(self, message, code: str = "SCH005", **kwargs):
+        super().__init__(message, code=code, **kwargs)
 
 
 def _check_fresh(stmt: PolyStatement, names: List[str]) -> None:
     for name in names:
         if name in stmt.loop_order or name in stmt.domain.dims:
             raise TransformError(
-                f"{stmt.name}: new loop name {name!r} already in use"
+                f"{stmt.name}: new loop name {name!r} already in use",
+                code="SCH004",
             )
     if len(set(names)) != len(names):
-        raise TransformError(f"{stmt.name}: duplicate new loop names {names}")
+        raise TransformError(
+            f"{stmt.name}: duplicate new loop names {names}", code="SCH004"
+        )
 
 
 def _rewrite_body(stmt: PolyStatement, bindings: Dict[str, Expr]):
@@ -53,7 +64,9 @@ def split(stmt: PolyStatement, i: str, factor: int, i0: str, i1: str) -> PolySta
     constraint and add the remainder bounds.
     """
     if factor < 2:
-        raise TransformError(f"{stmt.name}: split factor must be >= 2, got {factor}")
+        raise TransformError(
+            f"{stmt.name}: split factor must be >= 2, got {factor}", code="SCH001"
+        )
     _check_fresh(stmt, [i0, i1])
     level = stmt.level_of(i)
 
@@ -174,7 +187,9 @@ def shift(stmt: PolyStatement, dim: str, offset: int, new_dim: str) -> PolyState
     useful for aligning domains before fusion.
     """
     if offset == 0:
-        raise TransformError(f"{stmt.name}: shift offset must be non-zero")
+        raise TransformError(
+            f"{stmt.name}: shift offset must be non-zero", code="SCH001"
+        )
     _check_fresh(stmt, [new_dim])
     level = stmt.level_of(dim)
 
@@ -203,7 +218,9 @@ def skew(
     positions of ``i`` and ``j``.
     """
     if factor == 0:
-        raise TransformError(f"{stmt.name}: skew factor must be non-zero")
+        raise TransformError(
+            f"{stmt.name}: skew factor must be non-zero", code="SCH001"
+        )
     _check_fresh(stmt, [ip, jp])
     li, lj = stmt.level_of(i), stmt.level_of(j)
 

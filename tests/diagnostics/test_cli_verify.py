@@ -1,0 +1,38 @@
+"""The `repro verify` subcommand: diagnostics on stdout, exit code 1 on errors."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+pytestmark = pytest.mark.diagnostics
+
+
+def test_verify_clean_workload(capsys):
+    rc = main(["verify", "seidel"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "no diagnostics" in out
+
+
+def test_verify_illegal_schedule(tmp_path, capsys):
+    schedule = {
+        "function": "seidel",
+        "directives": [
+            {"kind": "Interchange", "compute_name": "S", "i": "t", "j": "j"}
+        ],
+        "partitions": {},
+    }
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps(schedule))
+    rc = main(["verify", "seidel", "--load-schedule", str(path)])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "LEG001" in out
+    assert "carried" in out  # names the violated dependence
+    assert "Traceback" not in out
+
+
+def test_verify_with_size(capsys):
+    assert main(["verify", "gemm", "--size", "8"]) == 0

@@ -1,0 +1,154 @@
+"""Fuzz-ish negative suite: every directive against an incompatible nest.
+
+Each case asserts a *diagnostic* with the right error code -- never a
+traceback -- and that legal schedules sail through with no errors.
+"""
+
+import pytest
+
+from repro.dsl import Function, compute, placeholder, var
+from repro.dsl.schedule import Interchange
+from repro.preflight import preflight_function
+from repro.workloads.stencils import heat_1d, seidel
+
+pytestmark = pytest.mark.diagnostics
+
+
+def codes(function):
+    return [d.code for d in preflight_function(function)]
+
+
+def error_codes(function):
+    return [d.code for d in preflight_function(function).errors()]
+
+
+def producer_consumer(read_offset: int):
+    """P writes B[i]; C reads B[i + read_offset]."""
+    with Function("pc") as f:
+        i = var("i", 0, 13)
+        A = placeholder("A", (16,))
+        B = placeholder("B", (16,))
+        C = placeholder("C", (16,))
+        P = compute("P", [i], A(i) * 2.0, B(i))
+        Cc = compute("C", [i], B(i + read_offset) + 1.0, C(i))
+    return f, P, Cc
+
+
+class TestDependenceLegality:
+    def test_interchange_across_carried_dependence(self):
+        # The acceptance-criterion case: seidel-2d carries dependences at
+        # t; hoisting j above t reverses them.
+        f = seidel(8, 2)
+        f.get_compute("S").interchange("t", "j")
+        engine = preflight_function(f)
+        errors = engine.errors()
+        assert errors and all(d.code == "LEG001" for d in errors)
+        # The diagnostic names the violated dependence, not just the loops.
+        assert any("carried at t" in d.message for d in errors)
+        assert any("A" in d.message for d in errors)
+
+    def test_legal_interchange_passes(self):
+        f = seidel(8, 2)
+        f.get_compute("S").interchange("i", "j")
+        assert error_codes(f) == []
+
+    def test_tile_of_non_permutable_band(self):
+        f = seidel(8, 2)
+        f.get_compute("S").tile("t", "i", 2, 2, "t0", "i0", "t1", "i1")
+        assert error_codes(f) and set(error_codes(f)) == {"LEG001"}
+
+    def test_legal_tile_passes(self):
+        f = seidel(8, 2)
+        f.get_compute("S").tile("i", "j", 2, 2, "i0", "j0", "i1", "j1")
+        assert error_codes(f) == []
+
+    def test_reverse_of_carrying_loop(self):
+        f = seidel(8, 2)
+        f.get_compute("S").reverse("t", "tr")
+        assert error_codes(f) and set(error_codes(f)) == {"LEG002"}
+
+    def test_illegal_skew(self):
+        # Skewing the outer time loop by -2 * i flips carried distances.
+        f = heat_1d(8, 2)
+        f.get_compute("S").skew("i", "t", -2, "ip", "tp")
+        assert error_codes(f) and set(error_codes(f)) == {"LEG003"}
+
+    def test_legal_skew_passes(self):
+        # The classic stencil skew: inner loop by the outer time loop.
+        f = seidel(8, 2)
+        f.get_compute("S").skew("t", "j", 1, "tp", "jp")
+        assert error_codes(f) == []
+
+    def test_fusion_reading_ahead(self):
+        f, P, Cc = producer_consumer(read_offset=1)
+        Cc.fuse(P, "i")
+        engine = preflight_function(f)
+        errors = engine.errors()
+        assert errors and all(d.code == "LEG004" for d in errors)
+        assert any("B" in d.message for d in errors)
+
+    def test_fusion_of_aligned_accesses_passes(self):
+        f, P, Cc = producer_consumer(read_offset=0)
+        Cc.fuse(P, "i")
+        assert error_codes(f) == []
+
+    def test_pipeline_across_carried_dependence_warns(self):
+        f = seidel(8, 2)
+        f.get_compute("S").pipeline("t")
+        engine = preflight_function(f)
+        assert not engine.has_errors, "pipelining is legal, merely slow"
+        assert engine.warnings()
+        assert all(d.code == "LEG005" for d in engine.warnings())
+
+    def test_shift_always_legal(self):
+        f = seidel(8, 2)
+        f.get_compute("S").shift("i", 1, "is")
+        assert error_codes(f) == []
+
+
+class TestStructuralChecks:
+    def test_unknown_compute(self):
+        f = seidel(8, 2)
+        f.schedule.add(Interchange("nope", "t", "j"))
+        engine = preflight_function(f)
+        assert [d.code for d in engine.errors()] == ["SCH002"]
+        assert "'nope'" in engine.errors()[0].message
+
+    def test_unknown_loop(self):
+        f = seidel(8, 2)
+        f.get_compute("S").interchange("t", "zz")
+        engine = preflight_function(f)
+        assert [d.code for d in engine.errors()] == ["SCH003"]
+        # The message lists the loops that do exist.
+        assert "t, i, j" in engine.errors()[0].message
+
+    def test_new_name_collision(self):
+        f = seidel(8, 2)
+        f.get_compute("S").split("j", 4, "i", "j1")
+        assert error_codes(f) == ["SCH004"]
+
+    def test_unapplicable_directive_reported_not_raised(self):
+        # Tile of non-adjacent loops passes the dependence check but
+        # cannot be applied; the preflight reports SCH005, no traceback.
+        f = seidel(8, 2)
+        f.get_compute("S").tile("t", "j", 2, 2, "t0", "j0", "t1", "j1")
+        assert "SCH005" in error_codes(f)
+
+    def test_bad_directive_does_not_cascade(self):
+        # A rejected directive is skipped; a later legal one still checks
+        # against the untransformed nest instead of compounding errors.
+        f = seidel(8, 2)
+        S = f.get_compute("S")
+        S.interchange("t", "zz")
+        S.pipeline("j")
+        engine = preflight_function(f)
+        assert [d.code for d in engine.errors()] == ["SCH003"]
+
+    def test_directive_location_threaded_from_dsl_call(self):
+        f = seidel(8, 2)
+        f.get_compute("S").interchange("t", "j")
+        engine = preflight_function(f)
+        loc = engine.errors()[0].location
+        assert loc is not None
+        assert loc.file is not None and loc.file.endswith("test_preflight.py")
+        assert loc.function == "seidel" and loc.compute == "S"

@@ -1,0 +1,43 @@
+"""Directive parameter errors: structured, named, and still ValueErrors."""
+
+import pytest
+
+from repro.diagnostics import DiagnosticError
+from repro.dsl.schedule import (
+    Pipeline,
+    ScheduleError,
+    Shift,
+    Skew,
+    Split,
+    Tile,
+    Unroll,
+)
+
+pytestmark = pytest.mark.diagnostics
+
+
+@pytest.mark.parametrize(
+    "build, loop_name",
+    [
+        (lambda: Split("s", "i", 1, "i0", "i1"), "i"),
+        (lambda: Tile("s", "i", "j", 0, 4, "i0", "j0", "i1", "j1"), "i"),
+        (lambda: Skew("s", "i", "j", 0, "ip", "jp"), "j"),
+        (lambda: Shift("s", "i", 0, "ip"), "i"),
+        (lambda: Pipeline("s", "k", 0), "k"),
+        (lambda: Unroll("s", "k", -1), "k"),
+    ],
+)
+def test_parameter_errors_name_compute_and_loop(build, loop_name):
+    with pytest.raises(ScheduleError) as info:
+        build()
+    assert info.value.code == "SCH001"
+    message = str(info.value)
+    assert "'s'" in message, "message must name the compute"
+    assert f"'{loop_name}'" in message, "message must name the loop"
+
+
+def test_schedule_error_is_value_error():
+    # Legacy handlers catching ValueError keep working.
+    assert issubclass(ScheduleError, DiagnosticError)
+    with pytest.raises(ValueError):
+        Split("s", "i", 0, "i0", "i1")

@@ -1,0 +1,46 @@
+"""Every seed workload must pass the verifier and legality preflight.
+
+This wires the verification subsystem into the tier-1 run: the default
+lowering path (`Function.lower` / `lower_to_affine`) verifies its output,
+and this sweep additionally checks the preflight on every workload's
+as-shipped schedule.
+"""
+
+import inspect
+
+import pytest
+
+from repro.affine.passes import verify_func
+from repro.preflight import preflight_function
+from repro.workloads import ALL_SUITES
+
+pytestmark = pytest.mark.diagnostics
+
+
+def _small(factory):
+    params = inspect.signature(factory).parameters
+    first = next(iter(params.values()), None)
+    if first is not None and first.name in ("n", "size"):
+        return factory(8)
+    return factory()
+
+
+ALL_WORKLOADS = [
+    pytest.param(factory, id=f"{suite_name}/{name}")
+    for suite_name, suite in ALL_SUITES.items()
+    for name, factory in suite.items()
+]
+
+
+@pytest.mark.parametrize("factory", ALL_WORKLOADS)
+def test_workload_passes_preflight_and_verifier(factory):
+    function = _small(factory)
+
+    preflight = preflight_function(function)
+    assert not preflight.has_errors, preflight.render()
+
+    # lower() verifies by default; verify_func again explicitly so a
+    # regression in the default wiring cannot mask a broken lowering.
+    func = function.lower()
+    engine = verify_func(func)
+    assert not engine.has_errors, engine.render()
