@@ -15,6 +15,7 @@ from pathlib import Path
 import pytest
 
 from repro.dse import auto_dse
+from repro.util import atomic_write
 from repro.workloads import polybench
 
 WORKLOADS = ["gemm", "bicg", "mm2", "mm3", "gesummv"]
@@ -70,6 +71,6 @@ def test_dse_cache_speedup(polybench_size, benchmark):
             for name in WORKLOADS
         },
     }
-    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    atomic_write(RESULT_PATH, json.dumps(payload, indent=2) + "\n")
     benchmark.extra_info.update(payload)
     assert ratio >= 2.0, f"cache speedup {ratio:.2f}x below the 2x bar"

@@ -20,6 +20,7 @@ from repro.isl.affine import AffineExpr
 from repro.isl.astbuild import AstNode, BlockNode, ForNode, IfNode, UserNode
 from repro.polyir.program import PolyProgram
 from repro.polyir.statement import PolyStatement
+from repro.util import deadline as _deadline
 from repro.affine.ir import (
     AffineForOp,
     AffineIfOp,
@@ -121,6 +122,10 @@ def lower_ast(ast: AstNode, function: Function) -> FuncOp:
 
 
 def _lower_node(node: AstNode, block: Block) -> None:
+    # Watchdog checkpoint: lowering walks the whole polyhedral AST; poll
+    # the cooperative deadline once per node so a timed-out candidate is
+    # abandoned promptly.
+    _deadline.checkpoint()
     if isinstance(node, ForNode):
         loop = AffineForOp(node.iterator, node.lowers, node.uppers)
         for key in ("pipeline", "unroll"):

@@ -93,16 +93,49 @@ def cmd_compile(args) -> int:
     return 0
 
 
+def _resume_hint(args, checkpoint: str) -> str:
+    hint = f"python -m repro dse {args.workload}"
+    if args.size is not None:
+        hint += f" --size {args.size}"
+    if args.resource_fraction != 1.0:
+        hint += f" --resource-fraction {args.resource_fraction}"
+    return hint + f" --resume {checkpoint}"
+
+
 def cmd_dse(args) -> int:
+    from repro.diagnostics import DiagnosticError
+
     function = _build_workload(args.workload, args.size)
-    result = function.auto_DSE(
-        resource_fraction=args.resource_fraction,
-        cache=not args.no_cache,
-    )
+    checkpoint = args.resume or args.checkpoint
+    try:
+        result = function.auto_DSE(
+            resource_fraction=args.resource_fraction,
+            cache=not args.no_cache,
+            checkpoint=checkpoint,
+            resume=args.resume is not None,
+            candidate_timeout_s=args.candidate_timeout,
+            time_budget_s=args.time_budget,
+        )
+    except DiagnosticError as exc:
+        print(exc.diagnostic.render(), file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        # Interrupted outside the search loop (the loop itself catches
+        # SIGINT, flushes the checkpoint, and degrades gracefully).
+        print("\ninterrupted before a best design was found", file=sys.stderr)
+        if checkpoint:
+            print(f"checkpoint journal: {checkpoint}", file=sys.stderr)
+            print(f"resume with: {_resume_hint(args, checkpoint)}", file=sys.stderr)
+        return 130
     print(
         f"auto-DSE of {args.workload}: {result.evaluations} evaluations in "
         f"{result.dse_time_s:.3f}s"
     )
+    if result.stats.replayed:
+        print(
+            f"replayed {result.stats.replayed} candidate(s) from "
+            f"checkpoint journal {checkpoint}"
+        )
     print(f"tiles: {result.tile_vectors()}")
     print(result.report.summary())
     if result.quarantine:
@@ -115,6 +148,19 @@ def cmd_dse(args) -> int:
     if args.stats:
         print()
         print(result.stats.summary())
+    if result.stats.interrupted:
+        print("sweep interrupted; stopped at best design found", file=sys.stderr)
+        if checkpoint:
+            print(f"checkpoint journal: {checkpoint}", file=sys.stderr)
+            print(f"resume with: {_resume_hint(args, checkpoint)}", file=sys.stderr)
+        return 130
+    if result.degraded and not args.allow_degraded:
+        print(
+            "sweep degraded (quarantined candidates or budget exhausted); "
+            "pass --allow-degraded to accept the best design found",
+            file=sys.stderr,
+        )
+        return 3
     return 0
 
 
@@ -203,6 +249,26 @@ def build_parser() -> argparse.ArgumentParser:
     dse_p.add_argument(
         "--no-cache", action="store_true",
         help="disable all DSE memoization layers (for measurement)",
+    )
+    dse_p.add_argument(
+        "--checkpoint", metavar="PATH", default=None,
+        help="journal every evaluated candidate to PATH (crash-safe sweep)",
+    )
+    dse_p.add_argument(
+        "--resume", metavar="PATH", default=None,
+        help="resume a sweep from a checkpoint journal written by --checkpoint",
+    )
+    dse_p.add_argument(
+        "--candidate-timeout", type=float, metavar="SECONDS", default=None,
+        help="quarantine any candidate whose evaluation exceeds this budget",
+    )
+    dse_p.add_argument(
+        "--time-budget", type=float, metavar="SECONDS", default=None,
+        help="stop the sweep at this wall-clock budget, keeping the best design",
+    )
+    dse_p.add_argument(
+        "--allow-degraded", action="store_true",
+        help="exit 0 even when candidates were quarantined or a budget was hit",
     )
     dse_p.set_defaults(func=cmd_dse)
 

@@ -47,6 +47,11 @@ CODES: Dict[str, str] = {
     # -- design space exploration ---------------------------------------
     "DSE001": "design-point candidate quarantined",
     "DSE002": "estimator failed after bounded retries",
+    "DSE003": "candidate evaluation exceeded its time budget (timeout quarantine)",
+    "DSE004": "sweep wall-clock budget exhausted; degraded to best design found",
+    "DSE005": "checkpoint journal rejected (missing, unreadable, or stale header)",
+    "DSE006": "corrupt or truncated checkpoint journal line skipped",
+    "DSE007": "sweep interrupted; stopped at best design found (checkpoint flushed)",
     # -- evaluation harness ---------------------------------------------
     "RPT001": "experiment failed during evaluation",
     # -- fallback --------------------------------------------------------

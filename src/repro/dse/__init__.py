@@ -7,7 +7,13 @@ walks the parallelism ladder on the critical path under resource
 constraints using the virtual HLS estimator as its cost model.
 """
 
-from repro.dse.engine import DseResult, auto_dse
+from repro.dse.checkpoint import (
+    CheckpointJournal,
+    candidate_key,
+    make_header,
+    workload_fingerprint,
+)
+from repro.dse.engine import DseResult, QuarantinedCandidate, auto_dse
 from repro.dse.stage1 import Stage1Plan, plan_stage1
 from repro.dse.stats import DseStats
 from repro.dse.stage2 import (
@@ -21,6 +27,11 @@ __all__ = [
     "auto_dse",
     "DseResult",
     "DseStats",
+    "QuarantinedCandidate",
+    "CheckpointJournal",
+    "candidate_key",
+    "make_header",
+    "workload_fingerprint",
     "plan_stage1",
     "Stage1Plan",
     "NodeConfig",

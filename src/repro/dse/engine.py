@@ -31,9 +31,11 @@ points and return bit-identical results.
 from __future__ import annotations
 
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro import faults as _faults
 from repro.diagnostics import (
     Diagnostic,
     DiagnosticEngine,
@@ -41,6 +43,7 @@ from repro.diagnostics import (
     Severity,
     SourceLocation,
 )
+from repro.util.deadline import Deadline, DeadlineExceeded, deadline_scope
 from repro.dsl.function import Function
 from repro.dsl.schedule import Schedule
 from repro.depgraph.graph import build_dependence_graph
@@ -51,6 +54,7 @@ from repro.hls.estimator import HlsEstimator, TransientEstimatorError
 from repro.hls.report import SynthesisReport, speedup
 from repro.isl import memo as _isl_memo
 from repro.polyir.program import PolyProgram
+from repro.dse.checkpoint import CheckpointJournal, candidate_key, make_header
 from repro.dse.stage1 import Stage1Plan, plan_stage1
 from repro.dse.stage2 import (
     NodeConfig,
@@ -80,6 +84,8 @@ class QuarantinedCandidate:
     parallelism: Dict[str, int]
     bank_cap: int
     diagnostic: Diagnostic
+    # Wall time lost before the watchdog fired, for DSE003 timeouts.
+    elapsed_s: Optional[float] = None
 
     def __str__(self) -> str:
         return self.diagnostic.oneline()
@@ -99,6 +105,23 @@ class DseResult:
     stats: Optional[DseStats] = None
     quarantine: List[QuarantinedCandidate] = field(default_factory=list)
     diagnostics: List[Diagnostic] = field(default_factory=list)
+    journal_path: Optional[str] = None
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the sweep completed in a weakened form.
+
+        True when any candidate was quarantined (including watchdog
+        timeouts), the wall-clock budget ran out, or the sweep was
+        interrupted -- the conditions under which the returned design is
+        "best found" rather than "best reachable".
+        """
+        if self.quarantine:
+            return True
+        return bool(
+            self.stats is not None
+            and (self.stats.interrupted or self.stats.time_budget_hit)
+        )
 
     def tile_vector(self, node: str) -> List[int]:
         """Paper-style achieved tile sizes for one node."""
@@ -121,6 +144,16 @@ class DseResult:
         return speedup(baseline, self.report)
 
 
+@dataclass
+class _Resilience:
+    """Crash-safety state threaded through one sweep."""
+
+    journal: Optional[CheckpointJournal] = None
+    candidate_timeout_s: Optional[float] = None
+    sweep_deadline: Optional[Deadline] = None
+    fault_plan: Optional[_faults.FaultPlan] = None
+
+
 def auto_dse(
     function: Function,
     device: Optional[FPGADevice] = None,
@@ -129,11 +162,30 @@ def auto_dse(
     max_parallelism: int = MAX_PARALLELISM,
     keep_existing_schedule: bool = False,
     cache: bool = True,
+    checkpoint: Optional[str] = None,
+    resume: bool = False,
+    candidate_timeout_s: Optional[float] = None,
+    time_budget_s: Optional[float] = None,
+    fault_plan: Optional[_faults.FaultPlan] = None,
 ) -> DseResult:
     """Run the two-stage DSE and install the best schedule found.
 
     ``cache=False`` disables all memoization layers (for measurement);
     the search trajectory and the result are identical either way.
+
+    Crash safety (see ``docs/resilience.md``):
+
+    * ``checkpoint`` journals every really-evaluated candidate to an
+      append-only JSON-lines file; with ``resume=True`` an existing
+      journal (validated against the workload, device, and engine
+      version -- ``DSE005`` on mismatch) replays completed candidates
+      and the sweep continues where it died.
+    * ``candidate_timeout_s`` arms a cooperative watchdog around each
+      candidate: overruns are quarantined as ``DSE003`` timeouts.
+    * ``time_budget_s`` bounds the whole sweep; when it runs out the
+      search degrades gracefully to the best design found (``DSE004``).
+    * ``fault_plan`` installs a deterministic fault-injection plan for
+      the duration of the call (:mod:`repro.faults`; testing only).
     """
     start = time.perf_counter()
     device = device or XC7Z020
@@ -143,17 +195,65 @@ def auto_dse(
     stats = DseStats(cache_enabled=cache)
     engine = DiagnosticEngine()
     quarantine: List[QuarantinedCandidate] = []
+
+    if resume and checkpoint is None:
+        raise DiagnosticError(
+            "resume requested without a checkpoint journal path",
+            code="DSE005",
+            location=SourceLocation(function=function.name),
+        )
+    if (
+        fault_plan is not None
+        and fault_plan.plans("hang")
+        and candidate_timeout_s is None
+    ):
+        # A hang with no watchdog would never return in a real sweep;
+        # refuse the misconfigured harness up front instead of letting
+        # the quarantine machinery mask it mid-sweep.
+        raise ValueError(
+            "fault plan schedules a hang but no candidate_timeout_s is "
+            "set; the injected stall would have no active deadline"
+        )
+    journal: Optional[CheckpointJournal] = None
+    if checkpoint is not None:
+        header = make_header(
+            function, device, resource_fraction, clock_ns,
+            max_parallelism, keep_existing_schedule,
+        )
+        if resume:
+            journal = CheckpointJournal.resume(
+                checkpoint, header, engine=engine, fault_plan=fault_plan
+            )
+        else:
+            journal = CheckpointJournal.create(
+                checkpoint, header, fault_plan=fault_plan
+            )
+
+    resilience = _Resilience(
+        journal=journal,
+        candidate_timeout_s=candidate_timeout_s,
+        sweep_deadline=(
+            Deadline(time_budget_s) if time_budget_s is not None else None
+        ),
+        fault_plan=fault_plan,
+    )
+
     isl_before = _isl_memo.stats_snapshot()
     isl_was_enabled = _isl_memo.set_enabled(cache)
+    previous_plan = _faults.install(fault_plan) if fault_plan is not None else None
 
     try:
         result = _search(
             function, device, budget, estimator, stats,
             max_parallelism, keep_existing_schedule, cache,
-            engine, quarantine,
+            engine, quarantine, resilience,
         )
     finally:
         _isl_memo.set_enabled(isl_was_enabled)
+        if fault_plan is not None:
+            _faults.install(previous_plan)
+        if journal is not None:
+            journal.close()
 
     stats.finish_isl(isl_before, _isl_memo.stats_snapshot())
     stats.report_hits = estimator.report_hits
@@ -172,6 +272,7 @@ def auto_dse(
         stats=stats,
         quarantine=quarantine,
         diagnostics=list(engine.diagnostics),
+        journal_path=checkpoint,
     )
 
 
@@ -186,7 +287,10 @@ def _search(
     cache: bool,
     engine: DiagnosticEngine,
     quarantine: List[QuarantinedCandidate],
+    resilience: _Resilience,
 ) -> Tuple[SynthesisReport, Dict[str, NodeConfig], Stage1Plan]:
+    journal = resilience.journal
+    plan_hooks = resilience.fault_plan
     structural = function.structural_directives()
     if not keep_existing_schedule:
         function.reset_schedule()
@@ -246,9 +350,48 @@ def _search(
         exc: BaseException, par: Dict[str, int], bank_cap: int
     ) -> None:
         diagnostic = _diagnostic_of(exc)
+        elapsed = getattr(exc, "elapsed_s", None)
         stats.quarantined += 1
-        quarantine.append(QuarantinedCandidate(dict(par), bank_cap, diagnostic))
+        if diagnostic.code == "DSE003":
+            stats.timeouts += 1
+            if elapsed is not None:
+                stats.timeout_s += elapsed
+        quarantine.append(
+            QuarantinedCandidate(dict(par), bank_cap, diagnostic, elapsed_s=elapsed)
+        )
         engine.emit(diagnostic)
+        if journal is not None:
+            journal.append_eval(
+                stats.candidates, candidate_key(par, bank_cap), par, bank_cap,
+                code=diagnostic.code, message=diagnostic.message,
+                elapsed_s=elapsed,
+            )
+
+    @contextmanager
+    def candidate_deadline():
+        """Arm the per-candidate watchdog; overruns become DSE003 errors.
+
+        The :class:`Deadline` is polled cooperatively from the hot loops
+        of Fourier-Motzkin elimination, AST building, and lowering, so a
+        pathological candidate is abandoned at its next checkpoint
+        instead of hanging the sweep.
+        """
+        budget_s = resilience.candidate_timeout_s
+        if budget_s is None:
+            yield
+            return
+        try:
+            with deadline_scope(Deadline(budget_s)):
+                yield
+        except DeadlineExceeded as exc:
+            error = DiagnosticError(
+                f"candidate evaluation timed out after {exc.elapsed_s:.3f}s "
+                f"(budget {exc.budget_s:.3f}s)",
+                code="DSE003",
+                location=SourceLocation(function=function.name),
+            )
+            error.elapsed_s = exc.elapsed_s
+            raise error from exc
 
     def timed_estimate(func_op: FuncOp) -> SynthesisReport:
         stats.estimations += 1
@@ -309,20 +452,48 @@ def _search(
         return report, func_op
 
     def evaluate(
-        par: Dict[str, int], bank_cap: int = 128
-    ) -> Tuple[SynthesisReport, Dict[str, NodeConfig], FuncOp]:
+        par: Dict[str, int], bank_cap: int = 128, force: bool = False
+    ) -> Tuple[SynthesisReport, Dict[str, NodeConfig], Optional[FuncOp]]:
         stats.evaluations += 1
         configs = {name: node_config(name, par[name]) for name in nodes}
         configs_fp = tuple(configs[name].fingerprint() for name in nodes)
         ekey = (configs_fp, bank_cap)
-        if cache:
+        if cache and not force:
             hit = eval_cache.get(ekey)
             if hit is not None:
                 stats.eval_cache_hits += 1
                 return hit
             stats.eval_cache_misses += 1
-        _install_schedule(function, plan, configs, structural, program)
-        report, func_op = lower_and_estimate(configs_fp, bank_cap)
+        jkey = candidate_key(par, bank_cap)
+        if journal is not None and not force:
+            record = journal.replay(jkey)
+            if record is not None:
+                # Resumed sweep: this candidate was already scored before
+                # the crash.  The journaled cycles/resources are all the
+                # search decisions consume; no func_op exists (the final
+                # best design is re-lowered for real at the end).
+                stats.replayed += 1
+                report = journal.report_from(
+                    record, function.name, device, estimator.clock_ns
+                )
+                return report, configs, None
+        ordinal = stats.candidates
+        stats.candidates += 1
+        if plan_hooks is not None:
+            plan_hooks.enter_candidate(ordinal)
+        t0 = time.perf_counter()
+        try:
+            with candidate_deadline():
+                _install_schedule(function, plan, configs, structural, program)
+                report, func_op = lower_and_estimate(configs_fp, bank_cap)
+        finally:
+            if plan_hooks is not None:
+                plan_hooks.exit_candidate()
+        if journal is not None:
+            journal.append_eval(
+                ordinal, jkey, par, bank_cap,
+                report=report, elapsed_s=time.perf_counter() - t0,
+            )
         result = (report, configs, func_op)
         if cache:
             eval_cache[ekey] = result
@@ -346,79 +517,125 @@ def _search(
         for member in group:
             group_of[member] = group
 
+    def latencies_for_best() -> Dict[str, int]:
+        """Per-node latencies of the current best design, journal-aware.
+
+        On a resumed sweep the best design may have been replayed (no
+        lowered func_op); its latency attribution comes from the journal,
+        or -- if the crash landed between the eval and lat appends -- from
+        one forced re-evaluation.
+        """
+        nonlocal report, configs, func_op
+        jkey = candidate_key(best[2], best[3])
+        if func_op is None:
+            cached = journal.latencies(jkey) if journal is not None else None
+            if cached is not None:
+                return cached
+            report, configs, func_op = evaluate(best[2], best[3], force=True)
+        latencies = _node_latencies(func_op, timed_estimate)
+        if journal is not None:
+            journal.append_latencies(jkey, latencies)
+        return latencies
+
     active = set(nodes)
-    while active:
-        try:
-            latencies = _node_latencies(func_op, timed_estimate)
-        except KeyboardInterrupt:
-            raise
-        except Exception as exc:
-            # Bottleneck analysis failed on an already-accepted design:
-            # degrade gracefully to the best design found so far.
-            engine.emit(_diagnostic_of(exc))
-            engine.note(
-                "GEN001",
-                "bottleneck analysis failed; stopping the search at the "
-                "best design found so far",
-            )
-            break
-        bottleneck = _pick_bottleneck(graph, latencies, active)
-        if bottleneck is None:
-            break
-        members = group_of[bottleneck]
-        trial = dict(parallelism)
-        exhausted = False
-        for member in members:
-            trial[member] = parallelism[member] * 2
-            if trial[member] > _max_parallelism(function, member, max_parallelism):
-                exhausted = True
-        if exhausted:
-            active.difference_update(members)
-            continue
-        # Factor quantization (even-divisor preference, legality) can make
-        # a doubled degree produce the exact same configs; that is a no-op
-        # step, not a dead end -- keep climbing the ladder.
-        try:
-            trial_plan = {
-                member: node_config(member, trial[member]) for member in members
-            }
-        except KeyboardInterrupt:
-            raise
-        except Exception as exc:
-            quarantine_candidate(exc, trial, 0)
-            active.difference_update(members)
-            continue
-        if all(
-            trial_plan[member].unrolls == configs[member].unrolls
-            and trial_plan[member].pipeline_dim == configs[member].pipeline_dim
-            for member in members
-        ):
-            parallelism = trial
-            continue
-        accepted = False
-        # Full banking first; if the spatial design overflows, trade
-        # banks for operator sharing (a larger II lets copies timeshare
-        # units -- the paper's BICG [1,32] / II=2 design point).
-        for bank_cap in (128, 16, 8):
+    try:
+        while active:
+            if (
+                resilience.sweep_deadline is not None
+                and resilience.sweep_deadline.exceeded()
+            ):
+                # Same graceful-degradation contract as estimator faults:
+                # the best design found so far is the answer.
+                stats.time_budget_hit = True
+                engine.note(
+                    "DSE004",
+                    f"sweep time budget "
+                    f"({resilience.sweep_deadline.budget_s:.1f}s) exhausted; "
+                    "stopping at the best design found so far",
+                )
+                break
             try:
-                trial_report, trial_configs, trial_func = evaluate(trial, bank_cap)
+                latencies = latencies_for_best()
             except KeyboardInterrupt:
                 raise
             except Exception as exc:
-                # The trial schedule is installed on the function; its
-                # failure must not abort the sweep.  Quarantine it (the
-                # failure is banking-independent, so other caps are not
-                # retried) and keep searching from the best design.
-                quarantine_candidate(exc, trial, bank_cap)
+                # Bottleneck analysis failed on an already-accepted design:
+                # degrade gracefully to the best design found so far.
+                engine.emit(_diagnostic_of(exc))
+                engine.note(
+                    "GEN001",
+                    "bottleneck analysis failed; stopping the search at the "
+                    "best design found so far",
+                )
                 break
-            if _within_budget(trial_report, budget) and trial_report.total_cycles < best[0].total_cycles:
+            bottleneck = _pick_bottleneck(graph, latencies, active)
+            if bottleneck is None:
+                break
+            members = group_of[bottleneck]
+            trial = dict(parallelism)
+            exhausted = False
+            for member in members:
+                trial[member] = parallelism[member] * 2
+                if trial[member] > _max_parallelism(function, member, max_parallelism):
+                    exhausted = True
+            if exhausted:
+                active.difference_update(members)
+                continue
+            # Factor quantization (even-divisor preference, legality) can make
+            # a doubled degree produce the exact same configs; that is a no-op
+            # step, not a dead end -- keep climbing the ladder.
+            try:
+                with candidate_deadline():
+                    trial_plan = {
+                        member: node_config(member, trial[member])
+                        for member in members
+                    }
+            except KeyboardInterrupt:
+                raise
+            except Exception as exc:
+                quarantine_candidate(exc, trial, 0)
+                active.difference_update(members)
+                continue
+            if all(
+                trial_plan[member].unrolls == configs[member].unrolls
+                and trial_plan[member].pipeline_dim == configs[member].pipeline_dim
+                for member in members
+            ):
                 parallelism = trial
-                best = (trial_report, trial_configs, dict(parallelism), bank_cap)
-                report, configs, func_op = trial_report, trial_configs, trial_func
-                accepted = True
-                break
-        if not accepted:
-            active.difference_update(members)
+                continue
+            accepted = False
+            # Full banking first; if the spatial design overflows, trade
+            # banks for operator sharing (a larger II lets copies timeshare
+            # units -- the paper's BICG [1,32] / II=2 design point).
+            for bank_cap in (128, 16, 8):
+                try:
+                    trial_report, trial_configs, trial_func = evaluate(trial, bank_cap)
+                except KeyboardInterrupt:
+                    raise
+                except Exception as exc:
+                    # The trial schedule is installed on the function; its
+                    # failure must not abort the sweep.  Quarantine it (the
+                    # failure is banking-independent, so other caps are not
+                    # retried) and keep searching from the best design.
+                    quarantine_candidate(exc, trial, bank_cap)
+                    break
+                if _within_budget(trial_report, budget) and trial_report.total_cycles < best[0].total_cycles:
+                    parallelism = trial
+                    best = (trial_report, trial_configs, dict(parallelism), bank_cap)
+                    report, configs, func_op = trial_report, trial_configs, trial_func
+                    accepted = True
+                    break
+            if not accepted:
+                active.difference_update(members)
+    except KeyboardInterrupt:
+        # SIGINT is a graceful stop: the checkpoint journal is already
+        # flushed through the last completed candidate, and the best
+        # design found so far is installed and returned.
+        stats.interrupted = True
+        engine.note(
+            "DSE007",
+            "sweep interrupted; stopping at the best design found so far",
+        )
 
     # Reinstall the best schedule (the last trial may have been rejected).
     report, configs, best_cap = best[0], best[1], best[3]

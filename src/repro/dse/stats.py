@@ -31,6 +31,14 @@ class DseStats:
     quarantined: int = 0          # candidate evaluations that failed
     estimator_retries: int = 0    # transient estimator failures retried
 
+    # -- resilience ---------------------------------------------------------
+    candidates: int = 0           # real evaluations started (journal ordinals)
+    replayed: int = 0             # candidates satisfied from a resume journal
+    timeouts: int = 0             # candidates quarantined by the watchdog
+    timeout_s: float = 0.0        # wall time lost to timed-out candidates
+    interrupted: bool = False     # SIGINT stopped the sweep gracefully
+    time_budget_hit: bool = False  # --time-budget exhausted mid-sweep
+
     # -- cache layers -------------------------------------------------------
     eval_cache_hits: int = 0      # (configs, bank_cap) evaluation reuse
     eval_cache_misses: int = 0
@@ -81,7 +89,10 @@ class DseStats:
             f" (nests lowered: {self.group_lowerings})",
             f"  estimations        {self.estimations}",
             f"  quarantined        {self.quarantined}"
-            f" (estimator retries: {self.estimator_retries})",
+            f" (estimator retries: {self.estimator_retries},"
+            f" timeouts: {self.timeouts})",
+            f"  replayed           {self.replayed}"
+            f" (from checkpoint journal)",
             "  cache layer            hits   misses   hit-rate",
             f"    evaluation         {self.eval_cache_hits:6d} {self.eval_cache_misses:8d}"
             f"   {rate(self.eval_cache_hits, self.eval_cache_misses):>8}",

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional
 
 from repro.diagnostics import Diagnostic, Severity, SourceLocation
 from repro.evaluation import ALL_EXPERIMENTS
+from repro.util import atomic_write
 
 QUICK_ARGS: Dict[str, dict] = {
     "fig2": {"size": 256},
@@ -95,8 +96,7 @@ def main(argv=None) -> int:
         failures=failures,
     )
     if args.output:
-        with open(args.output, "w") as handle:
-            handle.write(report)
+        atomic_write(args.output, report)
         print(f"report written to {args.output}")
     return 1 if failures else 0
 

@@ -24,6 +24,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import faults as _faults
 from repro.depgraph.analysis import carried_dependences_generic
 from repro.dsl.dtypes import DType, float32
 from repro.isl.affine import AffineExpr
@@ -112,6 +113,14 @@ class HlsEstimator:
     # -- public API ---------------------------------------------------------
 
     def estimate(self, func: FuncOp) -> SynthesisReport:
+        # Fault-injection hook (no-op in production): lets the chaos
+        # harness raise transient/permanent failures or expire the
+        # active watchdog deadline from inside the real entry point, so
+        # the retry/quarantine/timeout paths under test are the
+        # production ones.
+        fault_plan = _faults.active()
+        if fault_plan is not None:
+            fault_plan.on_estimate()
         if self.memoize_reports:
             key = func.fingerprint()
             cached = self._report_memo.get(key)

@@ -25,6 +25,7 @@ from repro.isl.affine import AffineExpr
 from repro.isl.constraint import GE, Constraint
 from repro.isl.maps import ScheduleMap
 from repro.isl.sets import BasicSet, LoopBound
+from repro.util import deadline as _deadline
 
 
 class AstNode:
@@ -192,6 +193,10 @@ class AstBuilder:
         outer_iters: List[str],
         context: BasicSet,
     ) -> AstNode:
+        # Watchdog checkpoint: AST building recurses per loop level and
+        # projects bounds through the integer-set library; poll the
+        # cooperative deadline once per constructed loop.
+        _deadline.checkpoint()
         dyn_exprs = [s.schedule.dynamic_dim(level) for s in states]
         if all(e.is_zero() for e in dyn_exprs):
             return self._build_level(states, level + 1, depth, outer_iters, context)

@@ -19,6 +19,7 @@ from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, 
 from repro.isl import memo as _memo
 from repro.isl.affine import AffineExpr, ExprLike
 from repro.isl.constraint import EQ, GE, Constraint
+from repro.util import deadline as _deadline
 
 
 class LoopBound:
@@ -347,6 +348,10 @@ def _eliminate(constraints: List[Constraint], name: str) -> List[Constraint]:
     coefficient divides everything (keeping arithmetic exact); otherwise
     they are decomposed into two inequalities.
     """
+    # Watchdog checkpoint: Fourier-Motzkin is quadratic per step and the
+    # constraint system can blow up on skewed nests; this is where a
+    # hung DSE candidate gets preempted cooperatively.
+    _deadline.checkpoint()
     # Prefer substitution through an equality with unit coefficient.
     for constraint in constraints:
         if constraint.kind != EQ:

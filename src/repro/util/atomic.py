@@ -1,0 +1,40 @@
+"""Atomic whole-file writes: temp file in the target directory + rename.
+
+``os.replace`` is atomic on POSIX and Windows when source and target live
+on the same filesystem, which the same-directory temp file guarantees.
+A crash at any point leaves either the old file or the new file on disk,
+never a truncated hybrid -- the property the evaluation report writer
+and the benchmark JSON writer rely on.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+
+def atomic_write(path, data: str, encoding: str = "utf-8") -> None:
+    """Write ``data`` to ``path`` so readers never observe a partial file.
+
+    The content is written to a temporary file in the same directory,
+    flushed and fsynced, then renamed over the target with
+    :func:`os.replace`.  On failure the temporary file is removed and the
+    original file (if any) is left untouched.
+    """
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding=encoding) as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise

@@ -1,0 +1,123 @@
+"""Cooperative watchdog deadlines for long-running analyses.
+
+The polyhedral kernels have no natural preemption point: a pathological
+candidate (a Fourier-Motzkin blowup on a skewed nest, a degenerate AST
+build) can keep a DSE sweep busy forever.  Instead of threads or
+signals, the framework uses *cooperative* deadlines: the DSE engine
+activates a :class:`Deadline` around candidate evaluation via
+:func:`deadline_scope`, and the hot loops (``isl.sets`` elimination,
+``isl.astbuild`` loop construction, ``affine.lowering`` node lowering)
+call :func:`checkpoint`, which raises :class:`DeadlineExceeded` once the
+budget is spent.
+
+:func:`checkpoint` is engineered for the common case of *no* active
+deadline -- one global read and a ``None`` test -- so leaving the calls
+in the hot loops costs nothing when no budget was requested.  Scopes
+nest; :func:`checkpoint` polls the innermost scope only.  The registry
+is a plain module global (the framework is single-threaded).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Optional
+
+
+class DeadlineExceeded(Exception):
+    """A cooperative deadline expired mid-computation.
+
+    Carries the elapsed wall time and the budget so callers (the DSE
+    timeout quarantine) can report how badly the candidate overran.
+    """
+
+    def __init__(self, message: str, elapsed_s: float, budget_s: float):
+        super().__init__(message)
+        self.elapsed_s = elapsed_s
+        self.budget_s = budget_s
+
+
+class Deadline:
+    """A wall-clock budget polled cooperatively via :meth:`poll`.
+
+    ``clock`` is injectable for deterministic tests; it must be a
+    monotonic seconds counter.  :meth:`expire_now` force-expires the
+    deadline regardless of the clock -- the mechanism the fault-injection
+    harness uses to make a simulated hang visible to the very same
+    checkpoint path a real stall would hit.
+    """
+
+    __slots__ = ("budget_s", "start", "_clock", "_forced")
+
+    def __init__(
+        self, budget_s: float, clock: Callable[[], float] = time.monotonic
+    ):
+        if budget_s < 0:
+            raise ValueError(f"deadline budget must be >= 0, got {budget_s}")
+        self.budget_s = float(budget_s)
+        self._clock = clock
+        self.start = clock()
+        self._forced = False
+
+    def elapsed(self) -> float:
+        return self._clock() - self.start
+
+    def remaining(self) -> float:
+        return self.budget_s - self.elapsed()
+
+    def expire_now(self) -> None:
+        """Force the next :meth:`poll` (or :func:`checkpoint`) to raise."""
+        self._forced = True
+
+    def exceeded(self) -> bool:
+        return self._forced or self.elapsed() > self.budget_s
+
+    def poll(self) -> None:
+        """Raise :class:`DeadlineExceeded` if the budget is spent."""
+        if self.exceeded():
+            elapsed = self.elapsed()
+            raise DeadlineExceeded(
+                f"deadline exceeded: {elapsed:.3f}s elapsed against a "
+                f"{self.budget_s:.3f}s budget",
+                elapsed_s=elapsed,
+                budget_s=self.budget_s,
+            )
+
+
+_ACTIVE: Optional[Deadline] = None
+
+
+def active() -> Optional[Deadline]:
+    """The innermost active deadline, or ``None``."""
+    return _ACTIVE
+
+
+def checkpoint() -> None:
+    """Poll the active deadline; free when none is active.
+
+    This is the call the hot loops make.  It must stay cheap: one global
+    load and a ``None`` check on the no-deadline path.
+    """
+    deadline = _ACTIVE
+    if deadline is not None:
+        deadline.poll()
+
+
+@contextmanager
+def deadline_scope(deadline: Optional[Deadline]):
+    """Activate ``deadline`` for the dynamic extent of the block.
+
+    ``None`` is accepted and is a no-op, so callers can thread an
+    optional budget without branching.  Scopes nest; the previous
+    deadline is restored on exit.
+    """
+    global _ACTIVE
+    if deadline is None:
+        yield None
+        return
+    previous = _ACTIVE
+    _ACTIVE = deadline
+    try:
+        yield deadline
+    finally:
+        _ACTIVE = previous

@@ -1,0 +1,116 @@
+"""Watchdog deadline unit tests: injectable clock, scoping, hot-loop polls."""
+
+import pytest
+
+from repro.isl.affine import AffineExpr
+from repro.isl.constraint import Constraint
+from repro.isl.sets import BasicSet
+from repro.util.deadline import (
+    Deadline,
+    DeadlineExceeded,
+    active,
+    checkpoint,
+    deadline_scope,
+)
+
+pytestmark = pytest.mark.resilience
+
+
+class FakeClock:
+    """A monotonic clock the test advances by hand."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def test_deadline_expires_with_the_clock():
+    clock = FakeClock()
+    deadline = Deadline(2.0, clock=clock)
+    deadline.poll()
+    clock.advance(1.5)
+    assert not deadline.exceeded()
+    assert deadline.remaining() == pytest.approx(0.5)
+    clock.advance(1.0)
+    with pytest.raises(DeadlineExceeded) as info:
+        deadline.poll()
+    assert info.value.elapsed_s == pytest.approx(2.5)
+    assert info.value.budget_s == pytest.approx(2.0)
+
+
+def test_expire_now_overrides_the_clock():
+    deadline = Deadline(3600.0, clock=FakeClock())
+    deadline.poll()
+    deadline.expire_now()
+    with pytest.raises(DeadlineExceeded):
+        deadline.poll()
+
+
+def test_checkpoint_is_a_noop_without_an_active_deadline():
+    assert active() is None
+    checkpoint()  # must not raise
+
+
+def test_deadline_scope_nests_and_restores():
+    clock = FakeClock()
+    outer = Deadline(10.0, clock=clock)
+    inner = Deadline(1.0, clock=clock)
+    with deadline_scope(outer):
+        assert active() is outer
+        with deadline_scope(inner):
+            assert active() is inner
+            clock.advance(2.0)  # inner expired, outer still fine
+            with pytest.raises(DeadlineExceeded):
+                checkpoint()
+        assert active() is outer
+        checkpoint()
+    assert active() is None
+
+
+def test_deadline_scope_accepts_none():
+    with deadline_scope(None):
+        assert active() is None
+        checkpoint()
+
+
+def test_negative_budget_rejected():
+    with pytest.raises(ValueError):
+        Deadline(-1.0)
+
+
+def test_fourier_motzkin_elimination_polls_the_deadline():
+    # drop_dim memoizes on the exact constraint system, so a unique set of
+    # dimension names guarantees the elimination (and its checkpoint) runs.
+    dims = ("zz_wd_i", "zz_wd_j")
+    bset = BasicSet(
+        dims,
+        [
+            Constraint.ge(AffineExpr.var(dims[0]), 0),
+            Constraint.le(AffineExpr.var(dims[0]), 7),
+            Constraint.ge(AffineExpr.var(dims[1]), 0),
+            Constraint.le(
+                AffineExpr.var(dims[1]) + AffineExpr.var(dims[0]) * 2, 41
+            ),
+        ],
+    )
+    expired = Deadline(0.0, clock=FakeClock())
+    expired.expire_now()
+    with deadline_scope(expired):
+        with pytest.raises(DeadlineExceeded):
+            bset.drop_dim(dims[0])
+
+
+def test_lowering_polls_the_deadline():
+    from repro.workloads import polybench
+
+    function = polybench.gemm(8)
+    expired = Deadline(0.0, clock=FakeClock())
+    expired.expire_now()
+    with deadline_scope(expired):
+        with pytest.raises(DeadlineExceeded):
+            function.lower()
