@@ -1,0 +1,107 @@
+"""Benchmark: sharded parallel DSE sweep vs. the sequential sweep.
+
+Runs the standard 4-workload sweep (``repro dse --all``) sequentially
+and through :func:`repro.dse.parallel.run_sharded_sweep` at ``jobs=4``,
+verifies the two sweeps return bit-identical designs, and records the
+wall times to ``BENCH_parallel.json`` at the repo root.
+
+The acceptance bar is >= 1.5x suite-wide wall-clock at ``--jobs 4``
+(target 2x) -- asserted only when the machine actually exposes more
+than one CPU to this process: shards can't run concurrently on one
+core, and pretending otherwise would record a fabricated measurement.
+The determinism half of the contract is asserted unconditionally.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.dse import auto_dse
+from repro.dse.parallel import (
+    DEFAULT_SWEEP,
+    build_workload,
+    default_sweep_specs,
+    run_sharded_sweep,
+)
+from repro.util import atomic_write
+from repro.util.pool import available_jobs
+
+JOBS = 4
+SPEEDUP_BAR = 1.5
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
+
+
+def _fingerprint(result):
+    return (
+        result.report.total_cycles,
+        result.report.resources.dsp,
+        result.report.resources.lut,
+        result.report.resources.ff,
+        result.tile_vectors(),
+        [d.fingerprint() for d in result.schedule],
+        result.evaluations,
+    )
+
+
+def test_dse_parallel_speedup(polybench_size, benchmark):
+    sequential = {}
+    sequential_times = {}
+    start = time.perf_counter()
+    for name in DEFAULT_SWEEP:
+        t0 = time.perf_counter()
+        sequential[name] = auto_dse(build_workload(name, polybench_size))
+        sequential_times[name] = time.perf_counter() - t0
+    sequential_s = time.perf_counter() - start
+
+    state = {}
+
+    def run_parallel():
+        t0 = time.perf_counter()
+        sweep = run_sharded_sweep(
+            default_sweep_specs(size=polybench_size), jobs=JOBS
+        )
+        state["sweep"] = sweep
+        state["parallel_s"] = time.perf_counter() - t0
+
+    benchmark(run_parallel)
+    sweep = state["sweep"]
+    parallel_s = state["parallel_s"]
+
+    assert sweep.ok, sweep.failures
+    for shard in sweep.shards:
+        name = shard.spec.workload
+        assert _fingerprint(shard.result) == _fingerprint(sequential[name]), name
+
+    cpus = available_jobs()
+    ratio = sequential_s / parallel_s
+    payload = {
+        "size": polybench_size,
+        "jobs": JOBS,
+        "cpus_available": cpus,
+        "sequential_s": round(sequential_s, 4),
+        "parallel_s": round(parallel_s, 4),
+        "speedup": round(ratio, 2),
+        "speedup_asserted": cpus >= 2,
+        "per_workload": {
+            name: {
+                "sequential_s": round(sequential_times[name], 4),
+                "evaluations": sequential[name].evaluations,
+            }
+            for name in DEFAULT_SWEEP
+        },
+    }
+    atomic_write(RESULT_PATH, json.dumps(payload, indent=2) + "\n")
+    benchmark.extra_info.update(payload)
+    if cpus >= 2:
+        assert ratio >= SPEEDUP_BAR, (
+            f"parallel speedup {ratio:.2f}x below the {SPEEDUP_BAR}x bar "
+            f"at jobs={JOBS} on {cpus} CPUs"
+        )
+    else:
+        pytest.skip(
+            f"only {cpus} CPU available to this process: speedup bar "
+            f"not meaningful (measured {ratio:.2f}x, recorded to "
+            f"{RESULT_PATH.name}); determinism was asserted above"
+        )

@@ -102,9 +102,58 @@ def _resume_hint(args, checkpoint: str) -> str:
     return hint + f" --resume {checkpoint}"
 
 
+def _cmd_dse_all(args) -> int:
+    """`repro dse --all`: the sharded multi-workload sweep."""
+    from repro.dse.parallel import default_sweep_specs, run_sharded_sweep
+
+    if args.resume is not None:
+        raise SystemExit("--resume applies to a single workload, not --all "
+                         "(crashed shards auto-resume from their journals)")
+    specs = default_sweep_specs(
+        size=args.size,
+        resource_fraction=args.resource_fraction,
+        cache=not args.no_cache,
+        candidate_timeout_s=args.candidate_timeout,
+        time_budget_s=args.time_budget,
+    )
+    sweep = run_sharded_sweep(
+        specs, jobs=args.jobs, checkpoint_dir=args.checkpoint
+    )
+    for shard in sweep.shards:
+        if shard.ok:
+            result = shard.result
+            note = " (worker crashed; resumed from journal)" if shard.retried else ""
+            print(
+                f"{shard.spec.label}: {result.evaluations} evaluations in "
+                f"{result.dse_time_s:.3f}s, tiles {result.tile_vectors()}{note}"
+            )
+        else:
+            print(f"{shard.spec.label}: FAILED: {shard.error}", file=sys.stderr)
+    for label, candidate in sweep.quarantine:
+        print(f"  {label} quarantined: {candidate.diagnostic.oneline()}")
+    if args.stats:
+        print()
+        print(sweep.stats.summary())
+    if not sweep.ok:
+        return 2
+    degraded = any(shard.result.degraded for shard in sweep.shards)
+    if degraded and not args.allow_degraded:
+        print(
+            "sweep degraded (quarantined candidates or budget exhausted); "
+            "pass --allow-degraded to accept the best designs found",
+            file=sys.stderr,
+        )
+        return 3
+    return 0
+
+
 def cmd_dse(args) -> int:
     from repro.diagnostics import DiagnosticError
 
+    if args.all:
+        return _cmd_dse_all(args)
+    if args.workload is None:
+        raise SystemExit("a workload name is required unless --all is given")
     function = _build_workload(args.workload, args.size)
     checkpoint = args.resume or args.checkpoint
     try:
@@ -115,6 +164,7 @@ def cmd_dse(args) -> int:
             resume=args.resume is not None,
             candidate_timeout_s=args.candidate_timeout,
             time_budget_s=args.time_budget,
+            jobs=args.jobs,
         )
     except DiagnosticError as exc:
         print(exc.diagnostic.render(), file=sys.stderr)
@@ -236,8 +286,20 @@ def build_parser() -> argparse.ArgumentParser:
     compile_p.set_defaults(func=cmd_compile)
 
     dse_p = sub.add_parser("dse", help="run auto-DSE and report the search profile")
-    dse_p.add_argument("workload", help="workload name (see `list`)")
+    dse_p.add_argument(
+        "workload", nargs="?", default=None,
+        help="workload name (see `list`); omit with --all",
+    )
     dse_p.add_argument("--size", type=int, default=None, help="problem size")
+    dse_p.add_argument(
+        "--all", action="store_true",
+        help="sweep the standard 4-workload set, one shard per workload",
+    )
+    dse_p.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes: shards with --all, speculative candidate "
+             "evaluation for a single workload (results stay bit-identical)",
+    )
     dse_p.add_argument(
         "--resource-fraction", type=float, default=1.0,
         help="fraction of the device budget available to the DSE",
@@ -252,7 +314,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     dse_p.add_argument(
         "--checkpoint", metavar="PATH", default=None,
-        help="journal every evaluated candidate to PATH (crash-safe sweep)",
+        help="journal every evaluated candidate to PATH (crash-safe sweep); "
+             "with --all, a directory holding one journal per shard",
     )
     dse_p.add_argument(
         "--resume", metavar="PATH", default=None,

@@ -16,6 +16,17 @@ from repro.dse.checkpoint import (
 from repro.dse.engine import DseResult, QuarantinedCandidate, auto_dse
 from repro.dse.stage1 import Stage1Plan, plan_stage1
 from repro.dse.stats import DseStats
+from repro.dse.parallel import (
+    DEFAULT_SWEEP,
+    ShardResult,
+    ShardSpec,
+    SpeculativeEvaluator,
+    SweepResult,
+    build_workload,
+    default_sweep_specs,
+    run_sharded_sweep,
+    shard_journal_path,
+)
 from repro.dse.stage2 import (
     NodeConfig,
     config_directives,
@@ -38,4 +49,13 @@ __all__ = [
     "plan_node_config",
     "config_directives",
     "derive_partitions",
+    "DEFAULT_SWEEP",
+    "ShardResult",
+    "ShardSpec",
+    "SpeculativeEvaluator",
+    "SweepResult",
+    "build_workload",
+    "default_sweep_specs",
+    "run_sharded_sweep",
+    "shard_journal_path",
 ]

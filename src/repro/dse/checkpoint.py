@@ -144,7 +144,14 @@ class CheckpointJournal:
     ) -> "CheckpointJournal":
         handle = open(path, "w", encoding="utf-8")
         journal = cls(path, header, handle, fault_plan)
-        journal._write_line(json.dumps(header, sort_keys=True))
+        try:
+            journal._write_line(json.dumps(header, sort_keys=True))
+        except BaseException:
+            # A journal whose header never reached the disk is unusable
+            # (resume would reject it anyway): never leave it behind
+            # open or half-written.
+            journal.discard()
+            raise
         return journal
 
     @classmethod
@@ -349,6 +356,14 @@ class CheckpointJournal:
     def close(self) -> None:
         if self._handle is not None and not self._handle.closed:
             self._handle.close()
+
+    def discard(self) -> None:
+        """Close the journal and remove its file (an unusable journal)."""
+        self.close()
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass
 
     def __enter__(self) -> "CheckpointJournal":
         return self

@@ -43,7 +43,12 @@ from repro.diagnostics import (
     Severity,
     SourceLocation,
 )
-from repro.util.deadline import Deadline, DeadlineExceeded, deadline_scope
+from repro.util.deadline import (
+    Deadline,
+    DeadlineExceeded,
+    active as _active_deadline,
+    deadline_scope,
+)
 from repro.dsl.function import Function
 from repro.dsl.schedule import Schedule
 from repro.depgraph.graph import build_dependence_graph
@@ -68,6 +73,85 @@ from repro.dse.stats import DseStats
 MAX_PARALLELISM = 256
 MAX_ESTIMATOR_RETRIES = 2
 RETRY_BACKOFF_S = 0.05
+# The banking fallback ladder: full banking first, then trade banks for
+# operator sharing when the spatial design overflows the device.
+BANK_CAPS = (128, 16, 8)
+# Cap on how long one retry-backoff slice may sleep before re-polling
+# the active deadlines.
+BACKOFF_SLICE_S = 0.01
+
+
+def _backoff_sleep(
+    seconds: float,
+    sweep_deadline: Optional[Deadline] = None,
+    slice_s: float = BACKOFF_SLICE_S,
+) -> float:
+    """Sleep up to ``seconds`` without sleeping through a deadline.
+
+    The estimator retry backoff must not let a sweep overshoot its
+    budgets while blocked in ``time.sleep``: the sleep is taken in small
+    slices, each of which first polls the active per-candidate
+    :class:`Deadline` (raising :class:`DeadlineExceeded`, which the
+    candidate scope converts to a ``DSE003`` timeout quarantine) and
+    gives up early -- without raising -- once the whole-sweep deadline
+    is exhausted, so the search loop's own budget check fires at the
+    next iteration.  Returns the wall time actually slept so callers can
+    attribute it separately from estimation time.
+    """
+    slept = 0.0
+    end = time.monotonic() + seconds
+    while True:
+        candidate_deadline = _active_deadline()
+        if candidate_deadline is not None:
+            candidate_deadline.poll()
+        if sweep_deadline is not None and sweep_deadline.exceeded():
+            return slept
+        left = end - time.monotonic()
+        if left <= 0:
+            return slept
+        nap = min(slice_s, left)
+        if candidate_deadline is not None:
+            # Never sleep meaningfully past the candidate budget; the
+            # +1ms keeps the loop progressing when the budget boundary
+            # lands inside this slice (the next poll then raises).
+            nap = min(nap, max(candidate_deadline.remaining(), 0.0) + 0.001)
+        time.sleep(nap)
+        slept += nap
+
+
+def _estimate_with_retries(
+    estimator: HlsEstimator,
+    func_op: FuncOp,
+    location: SourceLocation,
+    on_retry: Optional[Callable[[float], None]] = None,
+    sweep_deadline: Optional[Deadline] = None,
+) -> SynthesisReport:
+    """Estimate with bounded, deadline-aware retry backoff.
+
+    Shared by the in-process search and the speculative evaluation
+    workers (:mod:`repro.dse.parallel`) so both retry transient
+    estimator failures identically and raise the same ``DSE002`` when
+    the retries run out.  ``on_retry`` receives the backoff actually
+    slept before each retry.
+    """
+    last: Optional[TransientEstimatorError] = None
+    for attempt in range(MAX_ESTIMATOR_RETRIES + 1):
+        try:
+            return estimator.estimate(func_op)
+        except TransientEstimatorError as exc:
+            last = exc
+            if attempt < MAX_ESTIMATOR_RETRIES:
+                slept = _backoff_sleep(
+                    RETRY_BACKOFF_S * (2 ** attempt), sweep_deadline
+                )
+                if on_retry is not None:
+                    on_retry(slept)
+    raise DiagnosticError(
+        f"estimator failed after {MAX_ESTIMATOR_RETRIES + 1} "
+        f"attempts: {last}",
+        code="DSE002",
+        location=location,
+    ) from last
 
 
 @dataclass
@@ -167,11 +251,20 @@ def auto_dse(
     candidate_timeout_s: Optional[float] = None,
     time_budget_s: Optional[float] = None,
     fault_plan: Optional[_faults.FaultPlan] = None,
+    jobs: Optional[int] = None,
 ) -> DseResult:
     """Run the two-stage DSE and install the best schedule found.
 
     ``cache=False`` disables all memoization layers (for measurement);
     the search trajectory and the result are identical either way.
+
+    ``jobs`` > 1 enables *speculative candidate evaluation*: worker
+    processes pre-evaluate the bank-cap fallback ladder and the next
+    independent bottleneck-group trials while the search commits results
+    strictly in sequential visit order, so the best design, report, and
+    quarantine set stay bit-identical to a ``jobs=1`` sweep (see
+    :mod:`repro.dse.parallel`).  Speculation is disabled under fault
+    injection -- injected faults key on sequential candidate ordinals.
 
     Crash safety (see ``docs/resilience.md``):
 
@@ -196,6 +289,9 @@ def auto_dse(
     engine = DiagnosticEngine()
     quarantine: List[QuarantinedCandidate] = []
 
+    # Every argument is validated *before* a checkpoint journal file is
+    # created: an early raise must never leave a created-but-unusable
+    # journal open or half-written on disk.
     if resume and checkpoint is None:
         raise DiagnosticError(
             "resume requested without a checkpoint journal path",
@@ -214,6 +310,21 @@ def auto_dse(
             "fault plan schedules a hang but no candidate_timeout_s is "
             "set; the injected stall would have no active deadline"
         )
+    if candidate_timeout_s is not None and candidate_timeout_s < 0:
+        raise ValueError(
+            f"candidate_timeout_s must be >= 0, got {candidate_timeout_s}"
+        )
+    if jobs is not None and jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    resilience = _Resilience(
+        candidate_timeout_s=candidate_timeout_s,
+        # Deadline validates time_budget_s >= 0 here, pre-journal.
+        sweep_deadline=(
+            Deadline(time_budget_s) if time_budget_s is not None else None
+        ),
+        fault_plan=fault_plan,
+    )
+
     journal: Optional[CheckpointJournal] = None
     if checkpoint is not None:
         header = make_header(
@@ -228,30 +339,53 @@ def auto_dse(
             journal = CheckpointJournal.create(
                 checkpoint, header, fault_plan=fault_plan
             )
+    resilience.journal = journal
 
-    resilience = _Resilience(
-        journal=journal,
-        candidate_timeout_s=candidate_timeout_s,
-        sweep_deadline=(
-            Deadline(time_budget_s) if time_budget_s is not None else None
-        ),
-        fault_plan=fault_plan,
-    )
-
+    speculator = None
     isl_before = _isl_memo.stats_snapshot()
     isl_was_enabled = _isl_memo.set_enabled(cache)
     previous_plan = _faults.install(fault_plan) if fault_plan is not None else None
 
     try:
+        if jobs is not None and jobs > 1:
+            if fault_plan is not None:
+                engine.note(
+                    "DSE008",
+                    "speculative evaluation is disabled under fault "
+                    "injection (faults key on sequential candidate "
+                    "ordinals); evaluating sequentially",
+                )
+            else:
+                from repro.dse.parallel import SpeculativeEvaluator
+
+                try:
+                    speculator = SpeculativeEvaluator(
+                        function,
+                        device=device,
+                        clock_ns=clock_ns,
+                        keep_existing_schedule=keep_existing_schedule,
+                        candidate_timeout_s=candidate_timeout_s,
+                        jobs=jobs,
+                    )
+                except Exception as exc:
+                    engine.note(
+                        "DSE008",
+                        f"speculative evaluation unavailable ({exc}); "
+                        "evaluating sequentially",
+                    )
+        if speculator is not None:
+            stats.speculation_jobs = speculator.jobs
         result = _search(
             function, device, budget, estimator, stats,
             max_parallelism, keep_existing_schedule, cache,
-            engine, quarantine, resilience,
+            engine, quarantine, resilience, speculator,
         )
     finally:
         _isl_memo.set_enabled(isl_was_enabled)
         if fault_plan is not None:
             _faults.install(previous_plan)
+        if speculator is not None:
+            speculator.close()
         if journal is not None:
             journal.close()
 
@@ -288,15 +422,13 @@ def _search(
     engine: DiagnosticEngine,
     quarantine: List[QuarantinedCandidate],
     resilience: _Resilience,
+    speculator=None,
 ) -> Tuple[SynthesisReport, Dict[str, NodeConfig], Stage1Plan]:
     journal = resilience.journal
     plan_hooks = resilience.fault_plan
-    structural = function.structural_directives()
-    if not keep_existing_schedule:
-        function.reset_schedule()
-        for directive in structural:
-            function.schedule.add(directive)
-    saved_partitions = {p.name: p.partition_scheme for p in function.placeholders()}
+    structural, saved_partitions = _prepare_function(
+        function, keep_existing_schedule
+    )
 
     # Legality preflight on the directives the search will build upon
     # (structural after/fuse, or the user's full schedule when kept):
@@ -396,24 +528,27 @@ def _search(
     def timed_estimate(func_op: FuncOp) -> SynthesisReport:
         stats.estimations += 1
         t0 = time.perf_counter()
-        last: Optional[TransientEstimatorError] = None
+        backoff_before = stats.retry_backoff_s
+
+        def on_retry(slept: float) -> None:
+            stats.estimator_retries += 1
+            stats.retry_backoff_s += slept
+
         try:
-            for attempt in range(MAX_ESTIMATOR_RETRIES + 1):
-                try:
-                    return estimator.estimate(func_op)
-                except TransientEstimatorError as exc:
-                    last = exc
-                    if attempt < MAX_ESTIMATOR_RETRIES:
-                        stats.estimator_retries += 1
-                        time.sleep(RETRY_BACKOFF_S * (2 ** attempt))
-            raise DiagnosticError(
-                f"estimator failed after {MAX_ESTIMATOR_RETRIES + 1} "
-                f"attempts: {last}",
-                code="DSE002",
+            return _estimate_with_retries(
+                estimator, func_op,
                 location=SourceLocation(function=function.name),
-            ) from last
+                on_retry=on_retry,
+                sweep_deadline=resilience.sweep_deadline,
+            )
         finally:
-            stats.estimation_s += time.perf_counter() - t0
+            # Retry backoff is idle waiting, not estimation: attribute
+            # it to its own counter so --stats does not inflate the
+            # estimator's share of the profile.
+            stats.estimation_s += (
+                time.perf_counter() - t0
+                - (stats.retry_backoff_s - backoff_before)
+            )
 
     def lower_and_estimate(
         configs_fp: tuple, bank_cap: int
@@ -452,7 +587,10 @@ def _search(
         return report, func_op
 
     def evaluate(
-        par: Dict[str, int], bank_cap: int = 128, force: bool = False
+        par: Dict[str, int],
+        bank_cap: int = 128,
+        force: bool = False,
+        remote=None,
     ) -> Tuple[SynthesisReport, Dict[str, NodeConfig], Optional[FuncOp]]:
         stats.evaluations += 1
         configs = {name: node_config(name, par[name]) for name in nodes}
@@ -479,6 +617,29 @@ def _search(
                 return report, configs, None
         ordinal = stats.candidates
         stats.candidates += 1
+        if remote is not None:
+            # Commit a speculatively computed outcome at this candidate's
+            # sequential position: same counters, journal record, and
+            # failure semantics as the local path, with the lowering and
+            # estimation already paid for in a worker process.  No
+            # func_op exists; only rejected scores are committed this
+            # way, so the search never needs one (accepted candidates
+            # are re-evaluated locally before commit).
+            stats.speculative_used += 1
+            if not remote.ok:
+                error = DiagnosticError(remote.diagnostic)
+                if remote.diagnostic.code == "DSE003" and remote.elapsed_s is not None:
+                    error.elapsed_s = remote.elapsed_s
+                raise error
+            if journal is not None:
+                journal.append_eval(
+                    ordinal, jkey, par, bank_cap,
+                    report=remote.report, elapsed_s=remote.elapsed_s,
+                )
+            result = (remote.report, configs, None)
+            if cache:
+                eval_cache[ekey] = result
+            return result
         if plan_hooks is not None:
             plan_hooks.enter_candidate(ordinal)
         t0 = time.perf_counter()
@@ -538,6 +699,100 @@ def _search(
         return latencies
 
     active = set(nodes)
+
+    # -- speculative evaluation (auto_dse(jobs=N)) --------------------------
+    # The ladder's control flow under "every trial gets rejected" is a
+    # pure function of the current latencies, so the next few trials the
+    # sequential search would really evaluate can be predicted and
+    # dispatched to worker processes ahead of time.  The search itself
+    # stays sequential: it *commits* results -- via evaluate(remote=...)
+    # -- in exactly the order it would have visited them, so cached,
+    # uncached, and speculative sweeps are bit-identical.  A mispredicted
+    # or lost speculation only costs worker time, never correctness.
+
+    def speculation_frontier(latencies: Dict[str, int]) -> List[Dict[str, int]]:
+        """The next trials the search would evaluate, assuming rejections."""
+        sim_active = set(active)
+        sim_par = dict(parallelism)
+        trials: List[Dict[str, int]] = []
+        steps = 0
+        while sim_active and len(trials) < speculator.depth and steps < 8 * len(nodes) + 8:
+            steps += 1
+            pick = _pick_bottleneck(graph, latencies, sim_active)
+            if pick is None:
+                break
+            sim_members = group_of[pick]
+            sim_trial = dict(sim_par)
+            sim_exhausted = False
+            for member in sim_members:
+                sim_trial[member] = sim_par[member] * 2
+                if sim_trial[member] > _max_parallelism(function, member, max_parallelism):
+                    sim_exhausted = True
+            if sim_exhausted:
+                sim_active.difference_update(sim_members)
+                continue
+            try:
+                with candidate_deadline():
+                    sim_plan = {
+                        member: node_config(member, sim_trial[member])
+                        for member in sim_members
+                    }
+            except KeyboardInterrupt:
+                raise
+            except Exception:
+                # The real search will re-derive and quarantine this one.
+                sim_active.difference_update(sim_members)
+                continue
+            if all(
+                sim_plan[member].unrolls == configs[member].unrolls
+                and sim_plan[member].pipeline_dim == configs[member].pipeline_dim
+                for member in sim_members
+            ):
+                sim_par = sim_trial
+                continue
+            trials.append(sim_trial)
+            sim_active.difference_update(sim_members)
+        return trials
+
+    def prefetch(trial: Dict[str, int]) -> None:
+        """Dispatch one trial's full bank-cap ladder to the workers."""
+        trial_configs_fp = tuple(
+            node_config(name, trial[name]).fingerprint() for name in nodes
+        )
+        for cap in BANK_CAPS:
+            if cache and (trial_configs_fp, cap) in eval_cache:
+                continue
+            jkey = candidate_key(trial, cap)
+            if journal is not None and journal.replay(jkey) is not None:
+                continue
+            if speculator.prefetch(trial, cap):
+                stats.speculative_submitted += 1
+
+    def evaluate_trial(
+        par: Dict[str, int], bank_cap: int
+    ) -> Tuple[SynthesisReport, Dict[str, NodeConfig], Optional[FuncOp]]:
+        """One ladder evaluation, served speculatively when possible.
+
+        A speculative score destined for *rejection* is committed as-is
+        (the search never needs its lowered function).  A score that
+        will be *accepted* is re-evaluated locally so the search owns a
+        real func_op for bottleneck attribution -- the same work the
+        sequential search performs for an accepted candidate, with the
+        rejected siblings' work offloaded to the pool.
+        """
+        if speculator is None:
+            return evaluate(par, bank_cap)
+        outcome = speculator.take(par, bank_cap)
+        if outcome is None:
+            return evaluate(par, bank_cap)
+        if (
+            outcome.ok
+            and _within_budget(outcome.report, budget)
+            and outcome.report.total_cycles < best[0].total_cycles
+        ):
+            return evaluate(par, bank_cap)
+        return evaluate(par, bank_cap, remote=outcome)
+
     try:
         while active:
             if (
@@ -568,6 +823,9 @@ def _search(
                     "best design found so far",
                 )
                 break
+            if speculator is not None:
+                for speculative_trial in speculation_frontier(latencies):
+                    prefetch(speculative_trial)
             bottleneck = _pick_bottleneck(graph, latencies, active)
             if bottleneck is None:
                 break
@@ -607,9 +865,9 @@ def _search(
             # Full banking first; if the spatial design overflows, trade
             # banks for operator sharing (a larger II lets copies timeshare
             # units -- the paper's BICG [1,32] / II=2 design point).
-            for bank_cap in (128, 16, 8):
+            for bank_cap in BANK_CAPS:
                 try:
-                    trial_report, trial_configs, trial_func = evaluate(trial, bank_cap)
+                    trial_report, trial_configs, trial_func = evaluate_trial(trial, bank_cap)
                 except KeyboardInterrupt:
                     raise
                 except Exception as exc:
@@ -643,6 +901,23 @@ def _search(
     configs_fp = tuple(configs[name].fingerprint() for name in nodes)
     report, _ = lower_and_estimate(configs_fp, best_cap)
     return report, configs, plan
+
+
+def _prepare_function(function: Function, keep_existing_schedule: bool):
+    """Reset the function to the directives the search builds upon.
+
+    Returns the structural directives and the baseline partition
+    schemes.  Shared by :func:`_search` and the speculative evaluation
+    workers (:mod:`repro.dse.parallel`), which must replicate the exact
+    pre-search state on their own copy of the function.
+    """
+    structural = function.structural_directives()
+    if not keep_existing_schedule:
+        function.reset_schedule()
+        for directive in structural:
+            function.schedule.add(directive)
+    saved_partitions = {p.name: p.partition_scheme for p in function.placeholders()}
+    return structural, saved_partitions
 
 
 def _install_schedule(

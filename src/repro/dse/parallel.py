@@ -1,0 +1,482 @@
+"""The parallel DSE execution layer: sharded sweeps + speculation.
+
+Two independent mechanisms, both preserving the engine's determinism
+guarantee (parallel runs are bit-identical to sequential runs):
+
+* **Sharded sweeps** (:func:`run_sharded_sweep`) run one full
+  ``auto_dse`` sweep per workload in its own worker process.  Shards
+  share nothing at runtime -- each gets its own checkpoint journal,
+  its own estimator/isl memo tables (process-local), and its own
+  quarantine -- and the driver merges :class:`~repro.dse.stats.DseStats`,
+  diagnostics, and quarantine records *in shard declaration order*, so
+  the merged artifacts do not depend on which worker finished first.
+  A worker that dies mid-shard (a real crash or an injected one) loses
+  only that shard; the driver retries it in-process, resuming from the
+  shard's journal when one was being written.
+
+* **Speculative candidate evaluation** (:class:`SpeculativeEvaluator`)
+  accelerates a *single* sweep (``auto_dse(jobs=N)``).  The ladder
+  search's trajectory is a pure function of per-candidate scores, so
+  the engine predicts the next candidates it would evaluate (the
+  bank-cap fallback ladder ``(128, 16, 8)`` of the next independent
+  bottleneck-group trials), dispatches them to persistent worker
+  processes ahead of time, and *commits* the scores strictly in
+  sequential visit order.  Workers replicate the search preamble
+  (:func:`~repro.dse.engine._prepare_function`, stage 1 planning) on
+  their own copy of the function, then run the exact per-candidate
+  pipeline -- plan configs, install schedule, derive partitions, lower,
+  estimate with deadline-aware retries -- and ship back a picklable
+  :class:`SpeculativeOutcome` (a score or a structured diagnostic).
+  A lost or mispredicted speculation costs only worker time: the
+  engine falls back to evaluating locally whenever the pool cannot
+  deliver (see :meth:`~repro.util.pool.WorkerPool.result`).
+
+Memo isolation: every memo layer involved is process-local -- the
+estimator's report memo is per-:class:`~repro.hls.estimator.HlsEstimator`
+instance, and the global isl tables (:mod:`repro.isl.memo`) are
+per-process module state -- so workers never share or corrupt each
+other's caches, and a worker's warm cache cannot change results (memoized
+and unmemoized runs are bit-identical by construction).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.diagnostics import (
+    Diagnostic,
+    DiagnosticError,
+    Severity,
+    SourceLocation,
+)
+from repro.dse.checkpoint import candidate_key
+from repro.dse.engine import (
+    DseResult,
+    QuarantinedCandidate,
+    _apply_partitions,
+    _estimate_with_retries,
+    _install_schedule,
+    _prepare_function,
+    auto_dse,
+)
+from repro.dse.stage1 import plan_stage1
+from repro.dse.stage2 import derive_partitions, plan_node_config, stage1_program
+from repro.dse.stats import DseStats
+from repro.affine.lowering import lower_program_incremental
+from repro.depgraph.graph import build_dependence_graph
+from repro.hls.device import FPGADevice, XC7Z020
+from repro.hls.estimator import HlsEstimator
+from repro.polyir.program import PolyProgram
+from repro.util.deadline import Deadline, DeadlineExceeded, deadline_scope
+from repro.util.pool import WorkerPool, available_jobs, run_ordered
+
+# The default sweep `repro dse --all` and the parallel benchmark run:
+# the paper's Table III polybench workloads.
+DEFAULT_SWEEP: Tuple[str, ...] = ("gemm", "bicg", "gesummv", "2mm")
+
+
+def build_workload(name: str, size: Optional[int] = None):
+    """Instantiate a registered workload by name (picklable entry point).
+
+    Worker processes rebuild their shard's function from ``(name, size)``
+    rather than receiving a live object, so a shard task stays tiny and
+    start-method agnostic.
+    """
+    from repro.workloads import ALL_SUITES
+
+    registry: Dict[str, Callable] = {}
+    for suite in ALL_SUITES.values():
+        registry.update(suite)
+    if name not in registry:
+        known = ", ".join(sorted(registry))
+        raise ValueError(f"unknown workload {name!r}; available: {known}")
+    factory = registry[name]
+    return factory(size) if size is not None else factory()
+
+
+# -- speculative candidate evaluation ----------------------------------------
+
+
+@dataclass
+class SpeculativeOutcome:
+    """One worker-evaluated candidate: a score or a structured failure.
+
+    Mirrors the two terminal states of the engine's local evaluation --
+    ``ok`` carries the :class:`SynthesisReport` the sequential search
+    would have computed; a failure carries the :class:`Diagnostic` the
+    sequential search would have quarantined (``elapsed_s`` preserves
+    DSE003 watchdog accounting).  Everything here is picklable.
+    """
+
+    ok: bool
+    report: Optional[object] = None
+    diagnostic: Optional[Diagnostic] = None
+    elapsed_s: Optional[float] = None
+
+
+@dataclass
+class _WorkerState:
+    """Per-worker replica of the sequential search's evaluation state."""
+
+    function: object
+    estimator: HlsEstimator
+    structural: tuple
+    saved_partitions: dict
+    plan: object
+    program: object
+    nodes: List[str]
+    candidate_timeout_s: Optional[float]
+    config_cache: Dict[Tuple[str, int], object] = field(default_factory=dict)
+    nest_cache: Dict[tuple, list] = field(default_factory=dict)
+
+
+def _spec_init(
+    function,
+    device: FPGADevice,
+    clock_ns: float,
+    keep_existing_schedule: bool,
+    candidate_timeout_s: Optional[float],
+) -> _WorkerState:
+    """Worker initializer: replicate the search preamble once.
+
+    Runs in the worker process on its own copy of the function (forked
+    or unpickled before the parent's search mutates it), mirroring
+    ``_search``: reset to structural directives, plan stage 1, build the
+    shared polyhedral program.
+    """
+    estimator = HlsEstimator(device=device, clock_ns=clock_ns, memoize_reports=True)
+    structural, saved_partitions = _prepare_function(function, keep_existing_schedule)
+    graph = build_dependence_graph(function, analyze=False)
+    plan = plan_stage1(function, graph)
+    program = stage1_program(function, plan)
+    return _WorkerState(
+        function=function,
+        estimator=estimator,
+        structural=structural,
+        saved_partitions=saved_partitions,
+        plan=plan,
+        program=program,
+        nodes=[c.name for c in function.computes],
+        candidate_timeout_s=candidate_timeout_s,
+    )
+
+
+def _spec_eval(state: _WorkerState, payload) -> SpeculativeOutcome:
+    """Evaluate one ``(parallelism, bank_cap)`` candidate in a worker.
+
+    The exact per-candidate pipeline of the sequential search -- plan
+    node configs, install the trial schedule, derive and apply
+    partitions, lower incrementally, estimate with deadline-aware
+    retries -- under the same per-candidate watchdog, producing either
+    the identical report or the identical diagnostic.
+    """
+    par, bank_cap = payload
+    function = state.function
+    location = SourceLocation(function=function.name)
+    t0 = time.perf_counter()
+    try:
+        configs = {}
+        for name in state.nodes:
+            key = (name, par[name])
+            config = state.config_cache.get(key)
+            if config is None:
+                config = plan_node_config(
+                    function, state.plan, name, par[name], program=state.program
+                )
+                state.config_cache[key] = config
+            configs[name] = config
+        def body():
+            _install_schedule(
+                function, state.plan, configs, state.structural, state.program
+            )
+            derived = derive_partitions(function, max_banks=bank_cap)
+            _apply_partitions(function, state.saved_partitions, derived)
+            scheduled = PolyProgram(function).apply_schedule()
+            func_op = lower_program_incremental(scheduled, cache=state.nest_cache)
+            return _estimate_with_retries(state.estimator, func_op, location=location)
+
+        try:
+            if state.candidate_timeout_s is not None:
+                with deadline_scope(Deadline(state.candidate_timeout_s)):
+                    report = body()
+            else:
+                report = body()
+        except DeadlineExceeded as exc:
+            error = DiagnosticError(
+                f"candidate evaluation timed out after {exc.elapsed_s:.3f}s "
+                f"(budget {exc.budget_s:.3f}s)",
+                code="DSE003",
+                location=location,
+            )
+            error.elapsed_s = exc.elapsed_s
+            raise error from exc
+        return SpeculativeOutcome(
+            ok=True, report=report, elapsed_s=time.perf_counter() - t0
+        )
+    except Exception as exc:
+        if isinstance(exc, DiagnosticError):
+            diagnostic = exc.diagnostic
+        else:
+            diagnostic = Diagnostic(
+                Severity.ERROR,
+                "DSE001",
+                f"{type(exc).__name__}: {exc}",
+                location=location,
+            )
+        return SpeculativeOutcome(
+            ok=False, diagnostic=diagnostic, elapsed_s=getattr(exc, "elapsed_s", None)
+        )
+
+
+class SpeculativeEvaluator:
+    """Persistent worker pool pre-evaluating predicted candidates.
+
+    Constructed by ``auto_dse(jobs=N)`` before the search mutates the
+    function: workers capture the pristine pre-search function and
+    replicate the search preamble on it (:func:`_spec_init`).  The
+    engine then :meth:`prefetch`-es candidates its frontier simulation
+    predicts, and :meth:`take`-s them at their sequential visit
+    position.  ``take`` returns ``None`` for anything the pool cannot
+    deliver -- never prefetched, worker died, pool broken -- and the
+    engine evaluates locally; speculation can only lose speedup, never
+    answers or determinism.
+    """
+
+    def __init__(
+        self,
+        function,
+        device: Optional[FPGADevice] = None,
+        clock_ns: float = 10.0,
+        keep_existing_schedule: bool = False,
+        candidate_timeout_s: Optional[float] = None,
+        jobs: int = 2,
+    ):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        # How many independent bottleneck-group trials the engine's
+        # frontier simulation looks ahead; each trial fans out into the
+        # full bank-cap ladder, so `jobs` trials keep the pool busy.
+        self.depth = max(2, jobs)
+        self._tickets: Dict[str, int] = {}
+        self._pool = WorkerPool(
+            _spec_init,
+            (function, device or XC7Z020, clock_ns, keep_existing_schedule,
+             candidate_timeout_s),
+            _spec_eval,
+            jobs,
+        )
+
+    def prefetch(self, parallelism: Dict[str, int], bank_cap: int) -> bool:
+        """Queue one candidate for a worker; False if already queued/broken."""
+        if self._pool.broken:
+            return False
+        key = candidate_key(parallelism, bank_cap)
+        if key in self._tickets:
+            return False
+        self._tickets[key] = self._pool.submit((dict(parallelism), bank_cap))
+        return True
+
+    def take(self, parallelism: Dict[str, int], bank_cap: int):
+        """The outcome for a prefetched candidate, or None to go local.
+
+        Blocks until the worker finishes when the candidate is in
+        flight -- the work is already paid for; waiting for it is never
+        slower than redoing it locally.
+        """
+        key = candidate_key(parallelism, bank_cap)
+        ticket = self._tickets.pop(key, None)
+        if ticket is None:
+            return None
+        return self._pool.result(ticket)
+
+    def close(self) -> None:
+        self._pool.close()
+
+
+# -- sharded sweeps ----------------------------------------------------------
+
+
+@dataclass
+class ShardSpec:
+    """One workload's sweep in a sharded run (picklable task payload)."""
+
+    workload: str
+    size: Optional[int] = None
+    checkpoint: Optional[str] = None
+    resume: bool = False
+    resource_fraction: float = 1.0
+    clock_ns: float = 10.0
+    cache: bool = True
+    candidate_timeout_s: Optional[float] = None
+    time_budget_s: Optional[float] = None
+    fault_plan: Optional[object] = None
+    jobs: int = 1  # speculation inside this shard (auto_dse(jobs=...))
+
+    @property
+    def label(self) -> str:
+        if self.size is not None:
+            return f"{self.workload}({self.size})"
+        return self.workload
+
+
+@dataclass
+class ShardResult:
+    """One shard's outcome after any crash-retry."""
+
+    spec: ShardSpec
+    result: Optional[DseResult] = None
+    error: Optional[str] = None
+    crashed: bool = False
+    retried: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.result is not None
+
+
+@dataclass
+class SweepResult:
+    """A sharded sweep's deterministic merge, in shard declaration order."""
+
+    shards: List[ShardResult]
+    stats: DseStats
+    quarantine: List[Tuple[str, QuarantinedCandidate]]
+    diagnostics: List[Tuple[str, Diagnostic]]
+
+    @property
+    def ok(self) -> bool:
+        return all(shard.ok for shard in self.shards)
+
+    @property
+    def failures(self) -> List[ShardResult]:
+        return [shard for shard in self.shards if not shard.ok]
+
+    def results(self) -> Dict[str, DseResult]:
+        """Successful per-workload results keyed by shard label."""
+        return {s.spec.label: s.result for s in self.shards if s.ok}
+
+
+def _run_shard(spec: ShardSpec) -> DseResult:
+    """Run one shard's full sweep (worker-process entry point)."""
+    function = build_workload(spec.workload, spec.size)
+    return auto_dse(
+        function,
+        resource_fraction=spec.resource_fraction,
+        clock_ns=spec.clock_ns,
+        cache=spec.cache,
+        checkpoint=spec.checkpoint,
+        resume=spec.resume,
+        candidate_timeout_s=spec.candidate_timeout_s,
+        time_budget_s=spec.time_budget_s,
+        fault_plan=spec.fault_plan,
+        jobs=spec.jobs if spec.jobs > 1 else None,
+    )
+
+
+def shard_journal_path(directory: str, spec: ShardSpec) -> str:
+    """The per-shard journal file inside a sweep's checkpoint directory.
+
+    Layout: ``<directory>/<workload>[-<size>].journal`` -- one journal
+    per shard, so a crashed shard resumes from exactly its own records
+    and shards never contend for one file.
+    """
+    stem = spec.workload
+    if spec.size is not None:
+        stem += f"-{spec.size}"
+    return os.path.join(directory, f"{stem}.journal")
+
+
+def run_sharded_sweep(
+    specs: List[ShardSpec],
+    jobs: Optional[int] = None,
+    checkpoint_dir: Optional[str] = None,
+    retry_crashed: bool = True,
+) -> SweepResult:
+    """Run each shard's sweep in a worker process; merge deterministically.
+
+    ``checkpoint_dir`` gives every shard its own journal (see
+    :func:`shard_journal_path`), created if missing.  A shard whose
+    worker *crashes* (rather than raising) is retried once in the
+    driver process with ``resume=True`` against its journal -- injected
+    fault plans are stripped for the retry, matching the resilience
+    contract that a faulty run retried converges to the fault-free
+    result.  Results, stats, quarantine records, and diagnostics merge
+    in ``specs`` order regardless of completion order.
+    """
+    if jobs is None:
+        jobs = min(len(specs), available_jobs()) or 1
+    specs = list(specs)
+    if checkpoint_dir is not None:
+        os.makedirs(checkpoint_dir, exist_ok=True)
+        specs = [
+            replace(spec, checkpoint=shard_journal_path(checkpoint_dir, spec))
+            if spec.checkpoint is None
+            else spec
+            for spec in specs
+        ]
+
+    outcomes = run_ordered(_run_shard, specs, jobs)
+    shards: List[ShardResult] = []
+    for spec, outcome in zip(specs, outcomes):
+        if outcome.ok:
+            shards.append(ShardResult(spec, result=outcome.value))
+            continue
+        if outcome.crashed and retry_crashed:
+            # The worker died without reporting.  Its journal (when one
+            # was being written) survives with every completed candidate;
+            # resume from it in the driver, without the fault plan that
+            # (in tests) killed the worker.
+            retry = replace(
+                spec,
+                resume=spec.checkpoint is not None,
+                fault_plan=None,
+            )
+            try:
+                result = _run_shard(retry)
+            except Exception as exc:
+                shards.append(
+                    ShardResult(
+                        spec,
+                        error=f"retry failed: {type(exc).__name__}: {exc}",
+                        crashed=True,
+                        retried=True,
+                    )
+                )
+                continue
+            shards.append(
+                ShardResult(spec, result=result, crashed=True, retried=True)
+            )
+            continue
+        shards.append(
+            ShardResult(spec, error=outcome.error, crashed=outcome.crashed)
+        )
+
+    merged_stats = DseStats.merge(
+        [shard.result.stats for shard in shards if shard.ok and shard.result.stats]
+    )
+    quarantine: List[Tuple[str, QuarantinedCandidate]] = []
+    diagnostics: List[Tuple[str, Diagnostic]] = []
+    for shard in shards:
+        if not shard.ok:
+            continue
+        for candidate in shard.result.quarantine:
+            quarantine.append((shard.spec.label, candidate))
+        for diagnostic in shard.result.diagnostics:
+            diagnostics.append((shard.spec.label, diagnostic))
+    return SweepResult(
+        shards=shards,
+        stats=merged_stats,
+        quarantine=quarantine,
+        diagnostics=diagnostics,
+    )
+
+
+def default_sweep_specs(
+    size: Optional[int] = None, **kwargs
+) -> List[ShardSpec]:
+    """ShardSpecs for the standard 4-workload polybench sweep."""
+    return [ShardSpec(workload=name, size=size, **kwargs) for name in DEFAULT_SWEEP]

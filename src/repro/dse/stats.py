@@ -11,8 +11,8 @@ and printed by ``repro dse --stats``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from dataclasses import dataclass, field, fields
+from typing import Dict, Sequence, Tuple
 
 
 @dataclass
@@ -30,6 +30,7 @@ class DseStats:
     # -- fault tolerance ----------------------------------------------------
     quarantined: int = 0          # candidate evaluations that failed
     estimator_retries: int = 0    # transient estimator failures retried
+    retry_backoff_s: float = 0.0  # wall time slept between estimator retries
 
     # -- resilience ---------------------------------------------------------
     candidates: int = 0           # real evaluations started (journal ordinals)
@@ -38,6 +39,11 @@ class DseStats:
     timeout_s: float = 0.0        # wall time lost to timed-out candidates
     interrupted: bool = False     # SIGINT stopped the sweep gracefully
     time_budget_hit: bool = False  # --time-budget exhausted mid-sweep
+
+    # -- speculative evaluation (auto_dse(jobs=N)) --------------------------
+    speculation_jobs: int = 0     # worker processes backing this sweep
+    speculative_submitted: int = 0  # candidate evaluations sent to workers
+    speculative_used: int = 0     # worker results committed by the search
 
     # -- cache layers -------------------------------------------------------
     eval_cache_hits: int = 0      # (configs, bank_cap) evaluation reuse
@@ -62,6 +68,50 @@ class DseStats:
     astbuild_s: float = 0.0
     estimation_s: float = 0.0
     total_s: float = 0.0
+
+    # Fields that are properties of a run rather than amounts of work;
+    # everything else merges by summation in :meth:`merge`.
+    _MERGE_ALL = ("cache_enabled",)
+    _MERGE_ANY = ("interrupted", "time_budget_hit")
+    _MERGE_MAX = ("speculation_jobs",)
+
+    @classmethod
+    def merge(cls, shards: "Sequence[DseStats]") -> "DseStats":
+        """Fold per-shard stats into one deterministic aggregate.
+
+        Numeric counters and wall times sum (merged totals equal the sum
+        of shard totals, in shard order -- float addition is performed
+        left to right so the result is reproducible); ``cache_enabled``
+        holds only if every shard cached; the degradation flags hold if
+        any shard degraded; ``speculation_jobs`` takes the widest shard.
+        ``isl_counters`` merges key-wise by summation.
+        """
+        merged = cls()
+        numeric = [
+            f.name
+            for f in fields(cls)
+            if f.name != "isl_counters"
+            and f.name not in cls._MERGE_ALL
+            and f.name not in cls._MERGE_ANY
+            and f.name not in cls._MERGE_MAX
+        ]
+        shards = list(shards)
+        for name in numeric:
+            value = sum(getattr(shard, name) for shard in shards)
+            setattr(merged, name, value)
+        for name in cls._MERGE_ALL:
+            setattr(merged, name, all(getattr(s, name) for s in shards))
+        for name in cls._MERGE_ANY:
+            setattr(merged, name, any(getattr(s, name) for s in shards))
+        for name in cls._MERGE_MAX:
+            setattr(merged, name, max((getattr(s, name) for s in shards), default=0))
+        counters: Dict[str, Tuple[int, int]] = {}
+        for shard in shards:
+            for key, (hits, misses) in shard.isl_counters.items():
+                have = counters.get(key, (0, 0))
+                counters[key] = (have[0] + hits, have[1] + misses)
+        merged.isl_counters = counters
+        return merged
 
     def finish_isl(self, before: Dict[str, Tuple[int, int]], after: Dict[str, Tuple[int, int]]) -> None:
         """Record isl memo hit/miss deltas between two snapshots."""
@@ -93,6 +143,8 @@ class DseStats:
             f" timeouts: {self.timeouts})",
             f"  replayed           {self.replayed}"
             f" (from checkpoint journal)",
+            f"  speculation        {self.speculative_used}/{self.speculative_submitted}"
+            f" used (workers: {self.speculation_jobs})",
             "  cache layer            hits   misses   hit-rate",
             f"    evaluation         {self.eval_cache_hits:6d} {self.eval_cache_misses:8d}"
             f"   {rate(self.eval_cache_hits, self.eval_cache_misses):>8}",
@@ -116,7 +168,8 @@ class DseStats:
             f"    stage 1            {self.stage1_s * 1e3:8.1f} ms",
             f"    lowering           {self.lowering_s * 1e3:8.1f} ms"
             f" (ast build {self.astbuild_s * 1e3:.1f} ms)",
-            f"    estimation         {self.estimation_s * 1e3:8.1f} ms",
+            f"    estimation         {self.estimation_s * 1e3:8.1f} ms"
+            f" (retry backoff {self.retry_backoff_s * 1e3:.1f} ms)",
             f"    total              {self.total_s * 1e3:8.1f} ms",
         ]
         return "\n".join(lines)

@@ -1,9 +1,17 @@
 """Regenerate the entire evaluation into one report file.
 
-``python -m repro.evaluation.report_all [--quick] [--output PATH]`` runs
-every experiment (paper-scale by default, reduced sizes with
-``--quick``) and writes a timestamped markdown/text report -- the
-mechanism used to refresh ``EXPERIMENTS.md`` after model changes.
+``python -m repro.evaluation.report_all [--quick] [--jobs N]
+[--output PATH]`` runs every experiment (paper-scale by default, reduced
+sizes with ``--quick``) and writes a timestamped markdown/text report --
+the mechanism used to refresh ``EXPERIMENTS.md`` after model changes.
+
+``--jobs N`` shards the experiments across worker processes
+(:func:`repro.util.run_ordered`): each experiment runs isolated in its
+own process with its own memo tables, and the report is assembled in
+the fixed ``ALL_EXPERIMENTS`` order regardless of which worker finished
+first, so parallel and sequential reports have identical structure.  A
+worker that dies without reporting becomes a structured ``RPT001``
+failure for exactly its experiment instead of aborting the run.
 """
 
 from __future__ import annotations
@@ -28,8 +36,38 @@ QUICK_ARGS: Dict[str, dict] = {
 }
 
 
+def _run_experiment(payload: tuple) -> dict:
+    """Worker entry: run one experiment, capture stdout and any failure.
+
+    Module-level (picklable) so :func:`repro.util.run_ordered` can ship
+    it to a worker process; also the shared implementation of the
+    sequential path, so both produce byte-identical report sections.
+    """
+    name, kwargs = payload
+    capture = io.StringIO()
+    start = time.perf_counter()
+    error: Optional[str] = None
+    try:
+        with redirect_stdout(capture):
+            module = ALL_EXPERIMENTS[name]
+            if kwargs:
+                module.main(**kwargs)
+            else:
+                module.main()
+    except Exception as exc:  # keep the report going; record the failure
+        error = f"{type(exc).__name__}: {exc}"
+    return {
+        "text": capture.getvalue(),
+        "error": error,
+        "elapsed_s": time.perf_counter() - start,
+    }
+
+
 def run_all(
-    quick: bool = False, stream=None, failures: Optional[List[Diagnostic]] = None
+    quick: bool = False,
+    stream=None,
+    failures: Optional[List[Diagnostic]] = None,
+    jobs: Optional[int] = None,
 ) -> str:
     """Run every experiment; returns (and optionally streams) the report.
 
@@ -37,7 +75,8 @@ def run_all(
     ``RPT001`` diagnostic (experiment name, exception class, message)
     rendered in place and repeated in the closing summary section.
     Callers that need the records programmatically pass a ``failures``
-    list to collect them.
+    list to collect them.  ``jobs`` > 1 runs experiments in worker
+    processes, merged deterministically in ``ALL_EXPERIMENTS`` order.
     """
     out = io.StringIO()
     if failures is None:
@@ -51,29 +90,35 @@ def run_all(
     emit("# Evaluation report")
     emit(f"mode: {'quick' if quick else 'paper-scale'}")
     emit()
-    for name, module in ALL_EXPERIMENTS.items():
+    payloads = [
+        (name, QUICK_ARGS.get(name, {}) if quick else {})
+        for name in ALL_EXPERIMENTS
+    ]
+    if jobs is not None and jobs > 1:
+        from repro.util import run_ordered
+
+        outcomes = run_ordered(_run_experiment, payloads, jobs)
+        runs = [
+            outcome.value
+            if outcome.ok
+            else {"text": "", "error": outcome.error, "elapsed_s": 0.0}
+            for outcome in outcomes
+        ]
+    else:
+        runs = [_run_experiment(payload) for payload in payloads]
+    for (name, _), run in zip(payloads, runs):
         emit("## " + name)
-        start = time.perf_counter()
-        capture = io.StringIO()
-        try:
-            with redirect_stdout(capture):
-                kwargs = QUICK_ARGS.get(name, {}) if quick else {}
-                if kwargs:
-                    module.main(**kwargs)
-                else:
-                    module.main()
-            emit(capture.getvalue().rstrip())
-        except Exception as exc:  # keep the report going; record the failure
+        emit(run["text"].rstrip())
+        if run["error"] is not None:
             diagnostic = Diagnostic(
                 Severity.ERROR,
                 "RPT001",
-                f"experiment {name!r} failed: {type(exc).__name__}: {exc}",
+                f"experiment {name!r} failed: {run['error']}",
                 location=SourceLocation(function=name),
             )
             failures.append(diagnostic)
-            emit(capture.getvalue().rstrip())
             emit(diagnostic.render())
-        emit(f"[{name}: {time.perf_counter() - start:.1f}s]")
+        emit(f"[{name}: {run['elapsed_s']:.1f}s]")
         emit()
     emit("## summary")
     total = len(ALL_EXPERIMENTS)
@@ -87,6 +132,9 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
                         help="reduced sizes (minutes instead of ~10 min)")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="run experiments in N worker processes "
+                             "(deterministic merge; default sequential)")
     parser.add_argument("--output", default=None, help="write the report here")
     args = parser.parse_args(argv)
     failures: List[Diagnostic] = []
@@ -94,6 +142,7 @@ def main(argv=None) -> int:
         quick=args.quick,
         stream=None if args.output else sys.stdout,
         failures=failures,
+        jobs=args.jobs,
     )
     if args.output:
         atomic_write(args.output, report)

@@ -15,6 +15,16 @@ ScaleHLS QoR model [35]): a hierarchical roll-up of loop latencies where
   duplicates its body's operators;
 * resources count operator instances (DSP/LUT/FF from the operator
   library), loop control, bank multiplexing, and pipeline registers.
+
+The whole-report memo (``memoize_reports=True``) is *per-instance*
+state, never shared between estimators: each DSE sweep -- and each
+speculative evaluation worker process (:mod:`repro.dse.parallel`) --
+constructs its own :class:`HlsEstimator`, so parallel workers cannot
+observe or corrupt one another's memo tables.  Memoized and unmemoized
+estimates are bit-identical by construction (the memo key is the
+function fingerprint, which covers everything the model reads), which
+is what lets a worker's warm memo serve results committed into a
+different process's search.
 """
 
 from __future__ import annotations

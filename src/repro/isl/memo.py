@@ -17,6 +17,15 @@ diverge.
 
 The tables can be disabled globally (``set_enabled(False)``) so the DSE
 engine's ``cache=False`` escape hatch measures genuinely uncached runs.
+
+"Global" means *process-local* module state: the tables live in this
+module's namespace, so every worker process of the parallel DSE layer
+(:mod:`repro.dse.parallel` -- sharded sweeps and speculative candidate
+evaluation) gets its own independent copy, either empty (``spawn``) or
+a snapshot of the parent's at fork time (``fork``).  No locking is
+needed and no cross-process coherence is assumed; since memoized and
+unmemoized runs are bit-identical, per-worker tables can only change
+speed, never results.
 """
 
 from __future__ import annotations

@@ -1,4 +1,4 @@
-"""Small cross-cutting utilities: atomic file writes, cooperative deadlines.
+"""Small cross-cutting utilities: atomic writes, deadlines, process pools.
 
 These live below every other layer of the framework (they import nothing
 from :mod:`repro`), so the isl kernels, the lowering pipeline, and the
@@ -12,6 +12,7 @@ from repro.util.deadline import (
     checkpoint,
     deadline_scope,
 )
+from repro.util.pool import TaskOutcome, WorkerPool, available_jobs, run_ordered
 
 __all__ = [
     "atomic_write",
@@ -19,4 +20,8 @@ __all__ = [
     "DeadlineExceeded",
     "checkpoint",
     "deadline_scope",
+    "TaskOutcome",
+    "WorkerPool",
+    "available_jobs",
+    "run_ordered",
 ]

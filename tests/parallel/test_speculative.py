@@ -1,0 +1,97 @@
+"""Speculative candidate evaluation: ``jobs=N`` sweeps are bit-identical.
+
+Mirrors ``tests/dse/test_cache.py``: the cached-equals-uncached contract
+extends to *parallel equals sequential* -- same reports, same schedules,
+same tile vectors, same evaluation counts, byte-identical MLIR.
+"""
+
+import pytest
+
+from repro.affine import print_func
+from repro.dse import auto_dse
+from repro.faults import Fault, FaultPlan
+from repro.workloads import polybench
+
+pytestmark = pytest.mark.parallel
+
+SPEC_WORKLOADS = ["gemm", "bicg", "mm2", "gesummv"]
+
+
+def _schedule_fps(result):
+    return [d.fingerprint() for d in result.schedule]
+
+
+def _assert_identical(parallel, sequential):
+    assert parallel.report == sequential.report
+    assert _schedule_fps(parallel) == _schedule_fps(sequential)
+    assert parallel.tile_vectors() == sequential.tile_vectors()
+    assert parallel.evaluations == sequential.evaluations
+    assert parallel.stats.candidates == sequential.stats.candidates
+    assert [
+        (q.parallelism, q.bank_cap, q.diagnostic.code) for q in parallel.quarantine
+    ] == [
+        (q.parallelism, q.bank_cap, q.diagnostic.code) for q in sequential.quarantine
+    ]
+    assert print_func(parallel.function.lower()) == print_func(
+        sequential.function.lower()
+    )
+
+
+class TestSpeculativeEqualsSequential:
+    @pytest.mark.parametrize("name", SPEC_WORKLOADS)
+    def test_identical_results(self, name):
+        factory = getattr(polybench, name)
+        sequential = auto_dse(factory(16))
+        parallel = auto_dse(factory(16), jobs=2)
+        _assert_identical(parallel, sequential)
+        assert parallel.stats.speculation_jobs == 2
+        assert parallel.stats.speculative_submitted > 0
+
+    def test_identical_when_uncached(self):
+        # The full matrix: uncached+parallel == cached+sequential.
+        sequential = auto_dse(polybench.gemm(16))
+        parallel = auto_dse(polybench.gemm(16), cache=False, jobs=2)
+        _assert_identical(parallel, sequential)
+
+    def test_more_workers_than_work(self):
+        sequential = auto_dse(polybench.bicg(16))
+        parallel = auto_dse(polybench.bicg(16), jobs=4)
+        _assert_identical(parallel, sequential)
+        assert parallel.stats.speculation_jobs == 4
+
+
+def test_jobs_one_means_no_speculation():
+    result = auto_dse(polybench.gemm(16), jobs=1)
+    assert result.stats.speculation_jobs == 0
+    assert result.stats.speculative_submitted == 0
+
+
+def test_jobs_must_be_positive():
+    with pytest.raises(ValueError):
+        auto_dse(polybench.gemm(16), jobs=0)
+
+
+def test_speculative_sweep_journals_every_candidate(tmp_path):
+    """Remote commits write the same journal records as local ones."""
+    journal = tmp_path / "gemm.jsonl"
+    first = auto_dse(polybench.gemm(16), checkpoint=str(journal), jobs=2)
+    assert first.stats.speculative_used > 0  # remote commits happened
+    resumed = auto_dse(polybench.gemm(16), checkpoint=str(journal), resume=True)
+    assert resumed.report == first.report
+    assert resumed.tile_vectors() == first.tile_vectors()
+    assert resumed.stats.replayed == first.stats.candidates
+    assert resumed.stats.candidates == 0
+
+
+def test_speculation_disabled_under_fault_injection():
+    """Faults key on sequential ordinals: jobs>1 degrades to sequential
+    with a DSE008 note, and the faulty run still converges."""
+    baseline = auto_dse(polybench.gemm(16))
+    plan = FaultPlan([Fault("transient", 1, count=1)])
+    result = auto_dse(polybench.gemm(16), fault_plan=plan, jobs=4)
+    assert result.stats.speculation_jobs == 0
+    assert result.stats.speculative_submitted == 0
+    assert "DSE008" in [d.code for d in result.diagnostics]
+    assert result.report == baseline.report
+    assert result.tile_vectors() == baseline.tile_vectors()
+    assert plan.fired == [("transient", 1)]
