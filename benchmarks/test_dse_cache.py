@@ -17,6 +17,7 @@ import pytest
 from repro.dse import auto_dse
 from repro.util import atomic_write
 from repro.workloads import polybench
+from repro.dse.options import DseOptions
 
 WORKLOADS = ["gemm", "bicg", "mm2", "mm3", "gesummv"]
 
@@ -29,7 +30,7 @@ def _run_suite(size, cache):
     for name in WORKLOADS:
         function = getattr(polybench, name)(size)
         start = time.perf_counter()
-        results[name] = auto_dse(function, cache=cache)
+        results[name] = auto_dse(function, options=DseOptions(cache=cache))
         per_workload[name] = time.perf_counter() - start
     return per_workload, results
 

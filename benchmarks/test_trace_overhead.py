@@ -1,0 +1,107 @@
+"""Benchmark: cost of the permanent tracing instrumentation.
+
+The instrumentation lives in the hot loops (isl elimination, affine
+passes, HLS estimation, the DSE candidate loop), so its disabled path
+must be near-free.  This benchmark (1) micro-times the disabled
+``span``/``count`` fast path, (2) counts how many instrumentation
+events one traced DSE suite actually emits, and (3) bounds the implied
+disabled-mode overhead at < 5% of the untraced suite wall time.  It
+also re-asserts the bit-identity contract at benchmark scale and
+records everything to ``BENCH_trace.json`` at the repo root.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro import trace
+from repro.dse import DseOptions, auto_dse
+from repro.util import atomic_write
+from repro.workloads import polybench
+
+WORKLOADS = ["gemm", "bicg", "mm2", "mm3", "gesummv"]
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_trace.json"
+
+MICRO_ITERATIONS = 200_000
+
+
+def _run_suite(size):
+    results = {}
+    start = time.perf_counter()
+    for name in WORKLOADS:
+        results[name] = auto_dse(getattr(polybench, name)(size), options=DseOptions())
+    return time.perf_counter() - start, results
+
+
+def _disabled_cost_per_event():
+    """Mean seconds per disabled span() + count() round trip."""
+    assert not trace.enabled()
+    span, count = trace.span, trace.count
+    start = time.perf_counter()
+    for _ in range(MICRO_ITERATIONS):
+        with span("micro.bench", "bench"):
+            count("micro.events")
+    elapsed = time.perf_counter() - start
+    # One iteration is one span open/close *and* one counter bump: an
+    # upper bound on any single instrumentation event's cost.
+    return elapsed / MICRO_ITERATIONS
+
+
+def _event_count(tracer):
+    counters = tracer.metrics.counters
+    histogram_samples = sum(h.count for h in tracer.metrics.histograms.values())
+    return int(len(tracer.spans) + sum(counters.values()) + histogram_samples)
+
+
+def test_trace_overhead(polybench_size, benchmark):
+    per_event_s = _disabled_cost_per_event()
+
+    untraced_s, untraced = _run_suite(polybench_size)
+
+    traced_results = {}
+    tracers = {}
+
+    def run_traced():
+        with trace.tracing() as tracer:
+            elapsed, results = _run_suite(polybench_size)
+        traced_results.clear()
+        traced_results.update(results)
+        tracers["tracer"] = tracer
+        tracers["elapsed"] = elapsed
+
+    benchmark(run_traced)
+    tracer = tracers["tracer"]
+
+    # Bit-identity at benchmark scale: tracing observes, never steers.
+    for name in WORKLOADS:
+        assert traced_results[name].report == untraced[name].report, name
+        assert (
+            traced_results[name].tile_vectors() == untraced[name].tile_vectors()
+        ), name
+        assert (
+            traced_results[name].evaluations == untraced[name].evaluations
+        ), name
+
+    events = _event_count(tracer)
+    disabled_overhead = events * per_event_s / untraced_s
+    enabled_overhead = tracers["elapsed"] / untraced_s - 1.0
+
+    payload = {
+        "size": polybench_size,
+        "untraced_s": round(untraced_s, 4),
+        "traced_s": round(tracers["elapsed"], 4),
+        "events": events,
+        "spans": len(tracer.spans),
+        "disabled_ns_per_event": round(per_event_s * 1e9, 1),
+        "disabled_overhead_fraction": round(disabled_overhead, 6),
+        "enabled_overhead_fraction": round(max(enabled_overhead, 0.0), 4),
+    }
+    atomic_write(RESULT_PATH, json.dumps(payload, indent=2) + "\n")
+    benchmark.extra_info.update(payload)
+
+    assert disabled_overhead < 0.05, (
+        f"disabled instrumentation implies {100 * disabled_overhead:.2f}% "
+        f"overhead ({events} events x {per_event_s * 1e9:.0f}ns "
+        f"over {untraced_s:.2f}s)"
+    )

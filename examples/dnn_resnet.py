@@ -13,6 +13,7 @@ from repro.hls.device import XC7Z020
 from repro.hls.report import speedup
 from repro.pipeline import estimate
 from repro.workloads import dnn
+from repro.dse.options import DseOptions
 
 SIZE = 8
 SCALE = 0.25
@@ -43,7 +44,7 @@ def main():
 
     # -- POM under a tighter budget --------------------------------------------
     tight_fn = dnn.resnet18(size=SIZE, channel_scale=SCALE)
-    tight = tight_fn.auto_DSE(resource_fraction=0.5)
+    tight = tight_fn.auto_DSE(options=DseOptions(resource_fraction=0.5))
     print("\nPOM at 50% budget:", tight.report.summary())
     print("  speedup:", f"{speedup(baseline, tight.report):.1f}x")
 

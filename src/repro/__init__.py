@@ -11,14 +11,22 @@ figure of the evaluation.
 
 Typical entry points::
 
-    from repro.dsl import Function, compute, placeholder, var
-    from repro.dse import auto_dse
+    from repro import Function, compute, placeholder, var
+    from repro import auto_dse, DseOptions
     from repro.pipeline import compile_to_hls_c, estimate
+
+The public surface and its stability tiers are documented in
+``docs/api.md``.  All names below resolve lazily (PEP 562) so that
+``import repro`` stays cheap and instrumented modules can do
+``from repro import trace`` without creating import cycles.
 """
+
+import importlib
 
 __version__ = "1.0.0"
 
-__all__ = [
+#: Subpackages, re-exported lazily.
+_SUBMODULES = (
     "dsl",
     "isl",
     "depgraph",
@@ -31,4 +39,48 @@ __all__ = [
     "workloads",
     "evaluation",
     "pipeline",
-]
+    "diagnostics",
+    "trace",
+    "util",
+    "cli",
+)
+
+#: Top-level convenience re-exports: public name -> defining module.
+_EXPORTS = {
+    # DSL (paper Section IV)
+    "Function": "repro.dsl",
+    "compute": "repro.dsl",
+    "placeholder": "repro.dsl",
+    "var": "repro.dsl",
+    # Design space exploration (paper Section VI)
+    "auto_dse": "repro.dse",
+    "DseOptions": "repro.dse",
+    "DseResult": "repro.dse",
+    "DseStats": "repro.dse",
+    # Tracing and metrics
+    "Tracer": "repro.trace",
+    "tracing": "repro.trace",
+    "MetricsRegistry": "repro.trace",
+    # Diagnostics
+    "Diagnostic": "repro.diagnostics",
+    "DiagnosticEngine": "repro.diagnostics",
+    "DiagnosticError": "repro.diagnostics",
+    "Severity": "repro.diagnostics",
+}
+
+__all__ = sorted({*(_SUBMODULES), *(_EXPORTS), "__version__"})
+
+
+def __getattr__(name):
+    if name in _EXPORTS:
+        value = getattr(importlib.import_module(_EXPORTS[name]), name)
+    elif name in _SUBMODULES:
+        value = importlib.import_module(f"repro.{name}")
+    else:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}")
+    globals()[name] = value  # cache: resolve each name at most once
+    return value
+
+
+def __dir__():
+    return __all__

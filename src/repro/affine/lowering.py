@@ -14,6 +14,7 @@ from __future__ import annotations
 from time import perf_counter
 from typing import Dict, List, Optional
 
+from repro import trace as _trace
 from repro.dsl.expr import Access, BinaryOp, Call, Cast, Const, Expr, IterRef, to_affine
 from repro.dsl.function import Function
 from repro.isl.affine import AffineExpr
@@ -39,8 +40,9 @@ from repro.affine.ir import (
 
 def lower_program(program: PolyProgram) -> FuncOp:
     """Lower a polyhedral program (with built AST) to a FuncOp."""
-    ast = program.build_ast()
-    return lower_ast(ast, program.function)
+    with _trace.span("affine.lower_program", "affine"):
+        ast = program.build_ast()
+        return lower_ast(ast, program.function)
 
 
 def lower_program_incremental(
@@ -81,14 +83,18 @@ def lower_program_incremental(
             if stats is not None:
                 stats.lowering_cache_misses += 1
                 stats.group_lowerings += 1
-            start = perf_counter()
-            ast = program.build_ast_for(group)
-            if stats is not None:
-                stats.astbuild_s += perf_counter() - start
-            block = Block()
-            _lower_node(ast, block)
-            ops = list(block.ops)
-            cache[key] = ops
+            group_args = None
+            if _trace.enabled():
+                group_args = {"statements": [stmt.name for stmt in group]}
+            with _trace.span("affine.lower_group", "affine", group_args):
+                start = perf_counter()
+                ast = program.build_ast_for(group)
+                if stats is not None:
+                    stats.astbuild_s += perf_counter() - start
+                block = Block()
+                _lower_node(ast, block)
+                ops = list(block.ops)
+                cache[key] = ops
         elif stats is not None:
             stats.lowering_cache_hits += 1
         for op in ops:

@@ -12,7 +12,12 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro import trace as _trace
 from repro.affine.ir import FuncOp
+
+
+def _op_count(func: FuncOp) -> int:
+    return sum(1 for _ in func.walk())
 
 
 class PassError(RuntimeError):
@@ -56,7 +61,7 @@ class PassManager:
         for _ in range(self.max_iterations if to_fixed_point else 1):
             changed = False
             for pass_ in self.passes:
-                pass_changed = pass_.run(func)
+                pass_changed = self._run_one(pass_, func)
                 if pass_changed and self.verify_each:
                     self._verify_after(pass_, func)
                 changed |= pass_changed
@@ -64,6 +69,27 @@ class PassManager:
             if not changed:
                 break
         return changed_any
+
+    @staticmethod
+    def _run_one(pass_: Pass, func: FuncOp) -> bool:
+        """Run one pass, traced with per-pass timing + op-count delta.
+
+        The op counts walk the whole function, so they are computed only
+        when a tracer is active (the disabled path is the bare
+        ``pass_.run``)."""
+        if not _trace.enabled():
+            return pass_.run(func)
+        ops_before = _op_count(func)
+        with _trace.span(f"pass.{pass_.name}", "affine") as span:
+            pass_changed = pass_.run(func)
+            ops_after = _op_count(func)
+            span.args = {
+                "changed": pass_changed,
+                "ops_before": ops_before,
+                "ops_after": ops_after,
+                "ops_delta": ops_after - ops_before,
+            }
+        return pass_changed
 
     @staticmethod
     def _verify_after(pass_: Pass, func: FuncOp) -> None:

@@ -7,14 +7,24 @@ Usage examples::
     python -m repro compile bicg --size 1024 --dse --emit report
     python -m repro compile seidel --emit mlir
     python -m repro verify seidel --load-schedule sched.json
+    python -m repro dse gemm --size 256 --stats --trace dse.json
+    python -m repro trace gemm --size 256
     python -m repro experiment table3 --size 4096
     python -m repro experiment all
+
+Flag conventions (shared verbatim across subcommands and
+``repro.evaluation.report_all``; see ``docs/api.md``): ``--jobs N``
+for worker processes, ``--checkpoint PATH`` for crash-safe journaling,
+``--stats`` for work/cache profiles, ``--trace PATH`` for a Chrome
+``trace_event`` JSON of the run.  Pre-unification spellings remain as
+hidden deprecated aliases.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import warnings
 from typing import Callable, Dict, Optional
 
 from repro.workloads import ALL_SUITES
@@ -25,6 +35,99 @@ def _workload_registry() -> Dict[str, Callable]:
     for suite in ALL_SUITES.values():
         registry.update(suite)
     return registry
+
+
+# -- unified run flags --------------------------------------------------------
+
+#: One help string per shared flag, so every subcommand documents it
+#: identically (asserted by tests/trace/test_cli_trace.py).
+JOBS_HELP = (
+    "worker processes (sharded or speculative execution; "
+    "results merge deterministically)"
+)
+CHECKPOINT_HELP = (
+    "journal every evaluated candidate to PATH (crash-safe sweep); "
+    "for sharded runs, a directory holding one journal per shard"
+)
+STATS_HELP = "print per-phase wall time and work/cache counters"
+TRACE_HELP = "write a Chrome trace_event JSON of this run to PATH"
+
+
+class _DeprecatedFlagAlias(argparse.Action):
+    """A hidden pre-unification spelling of a canonical flag.
+
+    Still parsed (same dest), absent from ``--help``, and warns once
+    per use via :func:`repro.util.deprecation.warn_deprecated_alias`.
+    """
+
+    def __init__(self, option_strings, dest, canonical="", nargs=None, **kwargs):
+        self.canonical = canonical
+        kwargs["help"] = argparse.SUPPRESS
+        super().__init__(option_strings, dest, nargs=nargs, **kwargs)
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        from repro.util.deprecation import warn_deprecated_alias
+
+        warn_deprecated_alias(option_string, self.canonical, context="CLI flag")
+        setattr(namespace, self.dest, True if self.nargs == 0 else values)
+
+
+def _add_run_flags(
+    parser,
+    jobs: bool = False,
+    checkpoint: bool = False,
+    stats: bool = False,
+    trace: bool = False,
+) -> None:
+    """Register the shared run flags (and their hidden legacy aliases)."""
+    if jobs:
+        parser.add_argument(
+            "--jobs", type=int, default=None, metavar="N", help=JOBS_HELP
+        )
+        parser.add_argument(
+            "--parallel", dest="jobs", type=int, metavar="N",
+            canonical="--jobs", action=_DeprecatedFlagAlias,
+        )
+    if checkpoint:
+        parser.add_argument(
+            "--checkpoint", metavar="PATH", default=None, help=CHECKPOINT_HELP
+        )
+        parser.add_argument(
+            "--journal", dest="checkpoint", metavar="PATH",
+            canonical="--checkpoint", action=_DeprecatedFlagAlias,
+        )
+    if stats:
+        parser.add_argument("--stats", action="store_true", help=STATS_HELP)
+        parser.add_argument(
+            "--profile", dest="stats", nargs=0,
+            canonical="--stats", action=_DeprecatedFlagAlias,
+        )
+    if trace:
+        parser.add_argument(
+            "--trace", metavar="PATH", default=None, help=TRACE_HELP
+        )
+        parser.add_argument(
+            "--trace-out", dest="trace", metavar="PATH",
+            canonical="--trace", action=_DeprecatedFlagAlias,
+        )
+
+
+def _export_trace(tracer, path: str) -> None:
+    """Write a Chrome trace, degrading to a TRC001 warning on failure."""
+    from repro.diagnostics import Diagnostic, Severity
+    from repro.trace import export_chrome_trace
+
+    try:
+        export_chrome_trace(tracer, path)
+    except OSError as exc:
+        diagnostic = Diagnostic(
+            Severity.WARNING,
+            "TRC001",
+            f"trace output could not be written to {path!r}: {exc}",
+        )
+        print(diagnostic.render(), file=sys.stderr)
+    else:
+        print(f"trace written to {path}", file=sys.stderr)
 
 
 def _build_workload(name: str, size: Optional[int]):
@@ -54,7 +157,11 @@ def cmd_compile(args) -> int:
         print(f"// schedule loaded from {args.load_schedule}", file=sys.stderr)
 
     if args.dse:
-        result = function.auto_DSE(resource_fraction=args.resource_fraction)
+        from repro.dse.options import DseOptions
+
+        result = function.auto_DSE(
+            options=DseOptions(resource_fraction=args.resource_fraction)
+        )
         print(
             f"// auto-DSE: {result.evaluations} evaluations in "
             f"{result.dse_time_s:.2f}s, tiles {result.tile_vectors()}",
@@ -104,6 +211,7 @@ def _resume_hint(args, checkpoint: str) -> str:
 
 def _cmd_dse_all(args) -> int:
     """`repro dse --all`: the sharded multi-workload sweep."""
+    from repro import trace as trace_mod
     from repro.dse.parallel import default_sweep_specs, run_sharded_sweep
 
     if args.resume is not None:
@@ -116,9 +224,13 @@ def _cmd_dse_all(args) -> int:
         candidate_timeout_s=args.candidate_timeout,
         time_budget_s=args.time_budget,
     )
-    sweep = run_sharded_sweep(
-        specs, jobs=args.jobs, checkpoint_dir=args.checkpoint
-    )
+    tracer = trace_mod.Tracer() if args.trace else None
+    with trace_mod.tracing(tracer) if tracer else _null_context():
+        sweep = run_sharded_sweep(
+            specs, jobs=args.jobs, checkpoint_dir=args.checkpoint
+        )
+    if tracer is not None:
+        _export_trace(tracer, args.trace)
     for shard in sweep.shards:
         if shard.ok:
             result = shard.result
@@ -132,8 +244,17 @@ def _cmd_dse_all(args) -> int:
     for label, candidate in sweep.quarantine:
         print(f"  {label} quarantined: {candidate.diagnostic.oneline()}")
     if args.stats:
+        # Per-shard breakdowns first, then the merge: the merged totals
+        # are the sum of the shard totals (in shard declaration order),
+        # and this output makes that invariant visible to users.
+        for shard in sweep.shards:
+            if shard.ok and shard.result.stats is not None:
+                print()
+                print(f"shard {shard.spec.label}:")
+                print(_indent(shard.result.stats.summary()))
         print()
-        print(sweep.stats.summary())
+        print("merged (totals are the sum of the shards above):")
+        print(_indent(sweep.stats.summary()))
     if not sweep.ok:
         return 2
     degraded = any(shard.result.degraded for shard in sweep.shards)
@@ -147,8 +268,24 @@ def _cmd_dse_all(args) -> int:
     return 0
 
 
+def _indent(text: str, prefix: str = "  ") -> str:
+    return "\n".join(prefix + line for line in text.splitlines())
+
+
+class _null_context:
+    """``with`` no-op for the tracing-disabled CLI paths."""
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc):
+        return None
+
+
 def cmd_dse(args) -> int:
+    from repro import trace as trace_mod
     from repro.diagnostics import DiagnosticError
+    from repro.dse.options import DseOptions
 
     if args.all:
         return _cmd_dse_all(args)
@@ -156,16 +293,19 @@ def cmd_dse(args) -> int:
         raise SystemExit("a workload name is required unless --all is given")
     function = _build_workload(args.workload, args.size)
     checkpoint = args.resume or args.checkpoint
+    options = DseOptions(
+        resource_fraction=args.resource_fraction,
+        cache=not args.no_cache,
+        checkpoint=checkpoint,
+        resume=args.resume is not None,
+        candidate_timeout_s=args.candidate_timeout,
+        time_budget_s=args.time_budget,
+        jobs=args.jobs,
+    )
+    tracer = trace_mod.Tracer() if args.trace else None
     try:
-        result = function.auto_DSE(
-            resource_fraction=args.resource_fraction,
-            cache=not args.no_cache,
-            checkpoint=checkpoint,
-            resume=args.resume is not None,
-            candidate_timeout_s=args.candidate_timeout,
-            time_budget_s=args.time_budget,
-            jobs=args.jobs,
-        )
+        with trace_mod.tracing(tracer) if tracer else _null_context():
+            result = function.auto_DSE(options=options)
     except DiagnosticError as exc:
         print(exc.diagnostic.render(), file=sys.stderr)
         return 2
@@ -177,6 +317,8 @@ def cmd_dse(args) -> int:
             print(f"checkpoint journal: {checkpoint}", file=sys.stderr)
             print(f"resume with: {_resume_hint(args, checkpoint)}", file=sys.stderr)
         return 130
+    if tracer is not None:
+        _export_trace(tracer, args.trace)
     print(
         f"auto-DSE of {args.workload}: {result.evaluations} evaluations in "
         f"{result.dse_time_s:.3f}s"
@@ -215,14 +357,48 @@ def cmd_dse(args) -> int:
 
 
 def cmd_verify(args) -> int:
+    from repro import trace as trace_mod
+    from repro.trace import render_metrics, render_text_profile
+
     function = _build_workload(args.workload, args.size)
     if args.load_schedule:
         from repro.dsl.serialize import load_schedule
 
         load_schedule(function, args.load_schedule)
-    engine = function.verify()
+    tracer = trace_mod.Tracer() if (args.trace or args.stats) else None
+    with trace_mod.tracing(tracer) if tracer else _null_context():
+        engine = function.verify()
     print(engine.render())
+    if tracer is not None and args.stats:
+        print()
+        print(render_text_profile(tracer))
+        print()
+        print(render_metrics(tracer))
+    if tracer is not None and args.trace:
+        _export_trace(tracer, args.trace)
     return 1 if engine.has_errors else 0
+
+
+def cmd_trace(args) -> int:
+    """`repro trace <workload>`: profile one compile (or DSE) end to end."""
+    from repro import trace as trace_mod
+    from repro.trace import render_metrics, render_text_profile
+
+    function = _build_workload(args.workload, args.size)
+    with trace_mod.tracing() as tracer:
+        if args.dse:
+            from repro.dse.options import DseOptions
+
+            function.auto_DSE(options=DseOptions(jobs=args.jobs))
+        else:
+            function.lower()
+            function.estimate()
+    print(render_text_profile(tracer, min_fraction=0.001))
+    print()
+    print(render_metrics(tracer))
+    if args.trace:
+        _export_trace(tracer, args.trace)
+    return 0
 
 
 def cmd_experiment(args) -> int:
@@ -295,27 +471,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--all", action="store_true",
         help="sweep the standard 4-workload set, one shard per workload",
     )
-    dse_p.add_argument(
-        "--jobs", type=int, default=None, metavar="N",
-        help="worker processes: shards with --all, speculative candidate "
-             "evaluation for a single workload (results stay bit-identical)",
-    )
+    _add_run_flags(dse_p, jobs=True, checkpoint=True, stats=True, trace=True)
     dse_p.add_argument(
         "--resource-fraction", type=float, default=1.0,
         help="fraction of the device budget available to the DSE",
     )
     dse_p.add_argument(
-        "--stats", action="store_true",
-        help="print per-phase wall time and cache-hit counters",
-    )
-    dse_p.add_argument(
         "--no-cache", action="store_true",
         help="disable all DSE memoization layers (for measurement)",
-    )
-    dse_p.add_argument(
-        "--checkpoint", metavar="PATH", default=None,
-        help="journal every evaluated candidate to PATH (crash-safe sweep); "
-             "with --all, a directory holding one journal per shard",
     )
     dse_p.add_argument(
         "--resume", metavar="PATH", default=None,
@@ -345,7 +508,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--load-schedule", metavar="PATH", default=None,
         help="apply a saved JSON schedule before verifying",
     )
+    _add_run_flags(verify_p, stats=True, trace=True)
     verify_p.set_defaults(func=cmd_verify)
+
+    trace_p = sub.add_parser(
+        "trace",
+        help="profile one workload's compile (or DSE with --dse) and "
+             "print the top-down span profile",
+    )
+    trace_p.add_argument("workload", help="workload name (see `list`)")
+    trace_p.add_argument("--size", type=int, default=None, help="problem size")
+    trace_p.add_argument(
+        "--dse", action="store_true",
+        help="trace a full auto-DSE sweep instead of a single compile",
+    )
+    _add_run_flags(trace_p, jobs=True, trace=True)
+    trace_p.set_defaults(func=cmd_trace)
 
     experiment_p = sub.add_parser("experiment", help="regenerate a table/figure")
     experiment_p.add_argument("name", help="experiment id (e.g. table3) or 'all'")
@@ -355,6 +533,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv=None) -> int:
+    # Python hides DeprecationWarning outside __main__ by default, which
+    # would silence the hidden-alias notices for exactly the people they
+    # are meant for.  Surface them -- unless the user passed -W, which
+    # always wins (that is also what keeps CI's error::DeprecationWarning
+    # job authoritative over CLI-driving tests).
+    if not sys.warnoptions:
+        warnings.filterwarnings("default", category=DeprecationWarning)
     parser = build_parser()
     args = parser.parse_args(argv)
     try:

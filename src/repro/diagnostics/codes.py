@@ -56,6 +56,8 @@ CODES: Dict[str, str] = {
               "evaluating sequentially",
     # -- evaluation harness ---------------------------------------------
     "RPT001": "experiment failed during evaluation",
+    # -- tracing and metrics ---------------------------------------------
+    "TRC001": "trace output could not be written; run completed without it",
     # -- fallback --------------------------------------------------------
     "GEN001": "unclassified error",
 }

@@ -14,6 +14,7 @@ from repro.dse.checkpoint import (
     workload_fingerprint,
 )
 from repro.dse.engine import DseResult, QuarantinedCandidate, auto_dse
+from repro.dse.options import MAX_PARALLELISM, DseOptions
 from repro.dse.stage1 import Stage1Plan, plan_stage1
 from repro.dse.stats import DseStats
 from repro.dse.parallel import (
@@ -36,6 +37,8 @@ from repro.dse.stage2 import (
 
 __all__ = [
     "auto_dse",
+    "DseOptions",
+    "MAX_PARALLELISM",
     "DseResult",
     "DseStats",
     "QuarantinedCandidate",

@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro import faults as _faults
+from repro import trace as _trace
 from repro.diagnostics import (
     Diagnostic,
     DiagnosticEngine,
@@ -59,7 +60,14 @@ from repro.hls.estimator import HlsEstimator, TransientEstimatorError
 from repro.hls.report import SynthesisReport, speedup
 from repro.isl import memo as _isl_memo
 from repro.polyir.program import PolyProgram
-from repro.dse.checkpoint import CheckpointJournal, candidate_key, make_header
+from repro.util.deprecation import warn_deprecated, warn_deprecated_kwargs
+from repro.dse.checkpoint import (
+    CheckpointJournal,
+    candidate_key,
+    make_header,
+    workload_fingerprint,
+)
+from repro.dse.options import MAX_PARALLELISM, DseOptions
 from repro.dse.stage1 import Stage1Plan, plan_stage1
 from repro.dse.stage2 import (
     NodeConfig,
@@ -70,7 +78,6 @@ from repro.dse.stage2 import (
 )
 from repro.dse.stats import DseStats
 
-MAX_PARALLELISM = 256
 MAX_ESTIMATOR_RETRIES = 2
 RETRY_BACKOFF_S = 0.05
 # The banking fallback ladder: full banking first, then trade banks for
@@ -190,6 +197,10 @@ class DseResult:
     quarantine: List[QuarantinedCandidate] = field(default_factory=list)
     diagnostics: List[Diagnostic] = field(default_factory=list)
     journal_path: Optional[str] = None
+    #: Spans/metrics captured by a worker-side tracer (sharded sweeps
+    #: ship these back for deterministic merging); None when the sweep
+    #: ran under the caller's own tracer or with tracing off.
+    trace: Optional[_trace.TraceData] = None
 
     @property
     def degraded(self) -> bool:
@@ -240,59 +251,79 @@ class _Resilience:
 
 def auto_dse(
     function: Function,
-    device: Optional[FPGADevice] = None,
-    resource_fraction: float = 1.0,
-    clock_ns: float = 10.0,
-    max_parallelism: int = MAX_PARALLELISM,
-    keep_existing_schedule: bool = False,
-    cache: bool = True,
-    checkpoint: Optional[str] = None,
-    resume: bool = False,
-    candidate_timeout_s: Optional[float] = None,
-    time_budget_s: Optional[float] = None,
-    fault_plan: Optional[_faults.FaultPlan] = None,
-    jobs: Optional[int] = None,
+    options: Optional[DseOptions] = None,
+    **legacy_kwargs,
 ) -> DseResult:
     """Run the two-stage DSE and install the best schedule found.
 
-    ``cache=False`` disables all memoization layers (for measurement);
-    the search trajectory and the result are identical either way.
+    All configuration travels in one :class:`~repro.dse.options.DseOptions`::
 
-    ``jobs`` > 1 enables *speculative candidate evaluation*: worker
-    processes pre-evaluate the bank-cap fallback ladder and the next
-    independent bottleneck-group trials while the search commits results
-    strictly in sequential visit order, so the best design, report, and
-    quarantine set stay bit-identical to a ``jobs=1`` sweep (see
-    :mod:`repro.dse.parallel`).  Speculation is disabled under fault
-    injection -- injected faults key on sequential candidate ordinals.
+        auto_dse(function, options=DseOptions(cache=False, jobs=4))
+
+    The pre-consolidation keyword form (``auto_dse(function,
+    cache=False)``) still works with identical behavior but emits one
+    :class:`DeprecationWarning` per call; see ``docs/api.md`` for the
+    deprecation policy.
+
+    ``options.cache=False`` disables all memoization layers (for
+    measurement); the search trajectory and the result are identical
+    either way.
+
+    ``options.jobs`` > 1 enables *speculative candidate evaluation*:
+    worker processes pre-evaluate the bank-cap fallback ladder and the
+    next independent bottleneck-group trials while the search commits
+    results strictly in sequential visit order, so the best design,
+    report, and quarantine set stay bit-identical to a ``jobs=1`` sweep
+    (see :mod:`repro.dse.parallel`).  Speculation is disabled under
+    fault injection -- injected faults key on sequential candidate
+    ordinals.
 
     Crash safety (see ``docs/resilience.md``):
 
-    * ``checkpoint`` journals every really-evaluated candidate to an
-      append-only JSON-lines file; with ``resume=True`` an existing
-      journal (validated against the workload, device, and engine
-      version -- ``DSE005`` on mismatch) replays completed candidates
-      and the sweep continues where it died.
-    * ``candidate_timeout_s`` arms a cooperative watchdog around each
-      candidate: overruns are quarantined as ``DSE003`` timeouts.
-    * ``time_budget_s`` bounds the whole sweep; when it runs out the
-      search degrades gracefully to the best design found (``DSE004``).
-    * ``fault_plan`` installs a deterministic fault-injection plan for
-      the duration of the call (:mod:`repro.faults`; testing only).
+    * ``options.checkpoint`` journals every really-evaluated candidate
+      to an append-only JSON-lines file; with ``resume=True`` an
+      existing journal (validated against the workload, device, and
+      engine version -- ``DSE005`` on mismatch) replays completed
+      candidates and the sweep continues where it died.
+    * ``options.candidate_timeout_s`` arms a cooperative watchdog around
+      each candidate: overruns are quarantined as ``DSE003`` timeouts.
+    * ``options.time_budget_s`` bounds the whole sweep; when it runs out
+      the search degrades gracefully to the best design found
+      (``DSE004``).
+    * ``options.fault_plan`` installs a deterministic fault-injection
+      plan for the duration of the call (:mod:`repro.faults`; testing
+      only).
+
+    Observability: when a :mod:`repro.trace` tracer is active, the sweep
+    records hierarchical spans (per candidate, per pipeline layer) and
+    bulk-publishes its :class:`~repro.dse.stats.DseStats` counters as
+    trace metrics.  Tracing never changes the result.
     """
+    options = _coerce_options(options, legacy_kwargs)
+    # Function-independent validation first, before anything (device
+    # scaling, estimator construction) can fail with a less precise
+    # message or leave a side effect behind.
+    options.validate()
     start = time.perf_counter()
-    device = device or XC7Z020
+    device = options.device or XC7Z020
+    resource_fraction = options.resource_fraction
+    cache = options.cache
+    checkpoint = options.checkpoint
+    fault_plan = options.fault_plan
+    jobs = options.jobs
     budget = device.scaled(resource_fraction) if resource_fraction < 1.0 else device
-    estimator = HlsEstimator(device=device, clock_ns=clock_ns, memoize_reports=cache)
+    estimator = HlsEstimator(
+        device=device, clock_ns=options.clock_ns, memoize_reports=cache
+    )
 
     stats = DseStats(cache_enabled=cache)
     engine = DiagnosticEngine()
     quarantine: List[QuarantinedCandidate] = []
 
-    # Every argument is validated *before* a checkpoint journal file is
+    # Every option is validated *before* a checkpoint journal file is
     # created: an early raise must never leave a created-but-unusable
     # journal open or half-written on disk.
-    if resume and checkpoint is None:
+    if options.resume and checkpoint is None:
         raise DiagnosticError(
             "resume requested without a checkpoint journal path",
             code="DSE005",
@@ -301,7 +332,7 @@ def auto_dse(
     if (
         fault_plan is not None
         and fault_plan.plans("hang")
-        and candidate_timeout_s is None
+        and options.candidate_timeout_s is None
     ):
         # A hang with no watchdog would never return in a real sweep;
         # refuse the misconfigured harness up front instead of letting
@@ -310,17 +341,12 @@ def auto_dse(
             "fault plan schedules a hang but no candidate_timeout_s is "
             "set; the injected stall would have no active deadline"
         )
-    if candidate_timeout_s is not None and candidate_timeout_s < 0:
-        raise ValueError(
-            f"candidate_timeout_s must be >= 0, got {candidate_timeout_s}"
-        )
-    if jobs is not None and jobs < 1:
-        raise ValueError(f"jobs must be >= 1, got {jobs}")
     resilience = _Resilience(
-        candidate_timeout_s=candidate_timeout_s,
-        # Deadline validates time_budget_s >= 0 here, pre-journal.
+        candidate_timeout_s=options.candidate_timeout_s,
         sweep_deadline=(
-            Deadline(time_budget_s) if time_budget_s is not None else None
+            Deadline(options.time_budget_s)
+            if options.time_budget_s is not None
+            else None
         ),
         fault_plan=fault_plan,
     )
@@ -328,10 +354,10 @@ def auto_dse(
     journal: Optional[CheckpointJournal] = None
     if checkpoint is not None:
         header = make_header(
-            function, device, resource_fraction, clock_ns,
-            max_parallelism, keep_existing_schedule,
+            function, device, resource_fraction, options.clock_ns,
+            options.max_parallelism, options.keep_existing_schedule,
         )
-        if resume:
+        if options.resume:
             journal = CheckpointJournal.resume(
                 checkpoint, header, engine=engine, fault_plan=fault_plan
             )
@@ -346,40 +372,51 @@ def auto_dse(
     isl_was_enabled = _isl_memo.set_enabled(cache)
     previous_plan = _faults.install(fault_plan) if fault_plan is not None else None
 
+    span_args = None
+    if _trace.enabled():
+        span_args = {
+            "function": function.name,
+            "fingerprint": workload_fingerprint(
+                function, options.keep_existing_schedule
+            ),
+            "cache": cache,
+            "jobs": jobs or 1,
+        }
     try:
-        if jobs is not None and jobs > 1:
-            if fault_plan is not None:
-                engine.note(
-                    "DSE008",
-                    "speculative evaluation is disabled under fault "
-                    "injection (faults key on sequential candidate "
-                    "ordinals); evaluating sequentially",
-                )
-            else:
-                from repro.dse.parallel import SpeculativeEvaluator
-
-                try:
-                    speculator = SpeculativeEvaluator(
-                        function,
-                        device=device,
-                        clock_ns=clock_ns,
-                        keep_existing_schedule=keep_existing_schedule,
-                        candidate_timeout_s=candidate_timeout_s,
-                        jobs=jobs,
-                    )
-                except Exception as exc:
+        with _trace.span("dse.auto_dse", "dse", span_args):
+            if jobs is not None and jobs > 1:
+                if fault_plan is not None:
                     engine.note(
                         "DSE008",
-                        f"speculative evaluation unavailable ({exc}); "
-                        "evaluating sequentially",
+                        "speculative evaluation is disabled under fault "
+                        "injection (faults key on sequential candidate "
+                        "ordinals); evaluating sequentially",
                     )
-        if speculator is not None:
-            stats.speculation_jobs = speculator.jobs
-        result = _search(
-            function, device, budget, estimator, stats,
-            max_parallelism, keep_existing_schedule, cache,
-            engine, quarantine, resilience, speculator,
-        )
+                else:
+                    from repro.dse.parallel import SpeculativeEvaluator
+
+                    try:
+                        speculator = SpeculativeEvaluator(
+                            function,
+                            device=device,
+                            clock_ns=options.clock_ns,
+                            keep_existing_schedule=options.keep_existing_schedule,
+                            candidate_timeout_s=options.candidate_timeout_s,
+                            jobs=jobs,
+                        )
+                    except Exception as exc:
+                        engine.note(
+                            "DSE008",
+                            f"speculative evaluation unavailable ({exc}); "
+                            "evaluating sequentially",
+                        )
+            if speculator is not None:
+                stats.speculation_jobs = speculator.jobs
+            result = _search(
+                function, device, budget, estimator, stats,
+                options.max_parallelism, options.keep_existing_schedule, cache,
+                engine, quarantine, resilience, speculator,
+            )
     finally:
         _isl_memo.set_enabled(isl_was_enabled)
         if fault_plan is not None:
@@ -393,6 +430,10 @@ def auto_dse(
     stats.report_hits = estimator.report_hits
     stats.report_misses = estimator.report_misses
     stats.total_s = time.perf_counter() - start
+
+    tracer = _trace.active()
+    if tracer is not None:
+        _publish_stats_metrics(tracer, stats)
 
     report, configs, plan = result
     return DseResult(
@@ -408,6 +449,90 @@ def auto_dse(
         diagnostics=list(engine.diagnostics),
         journal_path=checkpoint,
     )
+
+
+def _coerce_options(options, legacy_kwargs: dict) -> DseOptions:
+    """Resolve the ``options``-vs-legacy-kwargs call forms.
+
+    The supported form passes a single :class:`DseOptions`.  Two legacy
+    forms are shimmed with a single :class:`DeprecationWarning` per
+    call: loose keyword arguments (``auto_dse(f, cache=False)``) and a
+    positional :class:`~repro.hls.device.FPGADevice` second argument
+    (the pre-consolidation signature).  Mixing both forms is an error
+    rather than a guess about precedence.
+    """
+    if options is not None and not isinstance(options, DseOptions):
+        # Legacy positional `device` second argument.
+        warn_deprecated(
+            "auto_dse: passing a device positionally is deprecated; "
+            "pass options=DseOptions(device=...) instead",
+            stacklevel=3,
+        )
+        legacy_kwargs = dict(legacy_kwargs, device=options)
+        return DseOptions.from_kwargs(**legacy_kwargs)
+    if legacy_kwargs:
+        if options is not None:
+            raise TypeError(
+                "auto_dse() accepts either options=DseOptions(...) or the "
+                "legacy keyword arguments, not both"
+            )
+        # Build first: a typo'd kwarg raises TypeError (as the old
+        # signature did) without also emitting a deprecation warning.
+        coerced = DseOptions.from_kwargs(**legacy_kwargs)
+        warn_deprecated_kwargs(
+            "auto_dse", "options=DseOptions(...)", legacy_kwargs, stacklevel=3
+        )
+        return coerced
+    return options if options is not None else DseOptions()
+
+
+# DseStats counters published as trace metrics at the end of a traced
+# sweep, with their metric names.  Bulk-loading from the authoritative
+# stats (instead of counting twice in the hot loops) keeps the metrics
+# consistent with `--stats` for free.
+_STATS_METRICS = (
+    ("evaluations", "dse.evaluations"),
+    ("candidates", "dse.candidates"),
+    ("lowerings", "dse.lowerings"),
+    ("group_lowerings", "dse.group_lowerings"),
+    ("estimations", "dse.estimations"),
+    ("quarantined", "dse.quarantined"),
+    ("estimator_retries", "dse.estimator_retries"),
+    ("replayed", "dse.replayed"),
+    ("timeouts", "dse.timeouts"),
+    ("speculative_submitted", "dse.speculative_submitted"),
+    ("speculative_used", "dse.speculative_used"),
+    ("eval_cache_hits", "dse.cache.evaluation.hits"),
+    ("eval_cache_misses", "dse.cache.evaluation.misses"),
+    ("design_cache_hits", "dse.cache.design.hits"),
+    ("design_cache_misses", "dse.cache.design.misses"),
+    ("lowering_cache_hits", "dse.cache.nest_lowering.hits"),
+    ("lowering_cache_misses", "dse.cache.nest_lowering.misses"),
+    ("report_hits", "dse.cache.report.hits"),
+    ("report_misses", "dse.cache.report.misses"),
+    ("config_cache_hits", "dse.cache.config.hits"),
+    ("config_cache_misses", "dse.cache.config.misses"),
+    ("partition_cache_hits", "dse.cache.partitions.hits"),
+    ("partition_cache_misses", "dse.cache.partitions.misses"),
+)
+
+
+def _publish_stats_metrics(tracer, stats: DseStats) -> None:
+    """Mirror one sweep's :class:`DseStats` into the tracer's metrics."""
+    metrics = tracer.metrics
+    for attr, name in _STATS_METRICS:
+        value = getattr(stats, attr)
+        if value:
+            metrics.count(name, value)
+    for table, (hits, misses) in sorted(stats.isl_counters.items()):
+        if hits:
+            metrics.count(f"isl.memo.{table}.hits", hits)
+        if misses:
+            metrics.count(f"isl.memo.{table}.misses", misses)
+    if stats.retry_backoff_s:
+        metrics.observe("dse.retry_backoff_s", stats.retry_backoff_s)
+    if stats.timeout_s:
+        metrics.observe("dse.timeout_s", stats.timeout_s)
 
 
 def _search(
@@ -441,8 +566,9 @@ def _search(
 
     graph = build_dependence_graph(function, analyze=False)
     t0 = time.perf_counter()
-    plan = plan_stage1(function, graph)
-    program = stage1_program(function, plan)
+    with _trace.span("dse.stage1", "dse"):
+        plan = plan_stage1(function, graph)
+        program = stage1_program(function, plan)
     stats.stage1_s += time.perf_counter() - t0
 
     nodes = [c.name for c in function.computes]
@@ -617,6 +743,14 @@ def _search(
                 return report, configs, None
         ordinal = stats.candidates
         stats.candidates += 1
+        span_args = None
+        if _trace.enabled():
+            span_args = {
+                "ordinal": ordinal,
+                "bank_cap": bank_cap,
+                "parallelism": dict(par),
+                "speculative": remote is not None,
+            }
         if remote is not None:
             # Commit a speculatively computed outcome at this candidate's
             # sequential position: same counters, journal record, and
@@ -626,6 +760,11 @@ def _search(
             # way, so the search never needs one (accepted candidates
             # are re-evaluated locally before commit).
             stats.speculative_used += 1
+            tracer = _trace.active()
+            if tracer is not None:
+                with tracer.span("dse.candidate", "dse", span_args):
+                    if getattr(remote, "trace", None) is not None:
+                        tracer.graft(remote.trace)
             if not remote.ok:
                 error = DiagnosticError(remote.diagnostic)
                 if remote.diagnostic.code == "DSE003" and remote.elapsed_s is not None:
@@ -644,9 +783,10 @@ def _search(
             plan_hooks.enter_candidate(ordinal)
         t0 = time.perf_counter()
         try:
-            with candidate_deadline():
-                _install_schedule(function, plan, configs, structural, program)
-                report, func_op = lower_and_estimate(configs_fp, bank_cap)
+            with _trace.span("dse.candidate", "dse", span_args):
+                with candidate_deadline():
+                    _install_schedule(function, plan, configs, structural, program)
+                    report, func_op = lower_and_estimate(configs_fp, bank_cap)
         finally:
             if plan_hooks is not None:
                 plan_hooks.exit_candidate()
@@ -897,9 +1037,10 @@ def _search(
 
     # Reinstall the best schedule (the last trial may have been rejected).
     report, configs, best_cap = best[0], best[1], best[3]
-    _install_schedule(function, plan, configs, structural, program)
-    configs_fp = tuple(configs[name].fingerprint() for name in nodes)
-    report, _ = lower_and_estimate(configs_fp, best_cap)
+    with _trace.span("dse.finalize", "dse"):
+        _install_schedule(function, plan, configs, structural, program)
+        configs_fp = tuple(configs[name].fingerprint() for name in nodes)
+        report, _ = lower_and_estimate(configs_fp, best_cap)
     return report, configs, plan
 
 

@@ -1,0 +1,117 @@
+"""The consolidated DSE configuration surface.
+
+Four PRs of growth left :func:`~repro.dse.engine.auto_dse` with a dozen
+loose keyword arguments.  :class:`DseOptions` consolidates them into one
+validated dataclass::
+
+    from repro import DseOptions
+    result = function.auto_DSE(options=DseOptions(cache=False, jobs=4))
+
+The legacy kwarg form (``auto_dse(f, cache=False)``) still works through
+a shim that builds a :class:`DseOptions` and emits exactly one
+:class:`DeprecationWarning` per call (see
+:mod:`repro.util.deprecation`); behavior is identical either way, which
+``tests/dse/test_options.py`` asserts result-for-result.
+
+Validation that does not need the function under search lives in
+:meth:`DseOptions.validate` so every entry point (engine, shard workers,
+CLI) rejects a bad configuration identically -- and *before* any side
+effect such as creating a checkpoint journal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import Optional
+
+from repro.hls.device import FPGADevice
+
+#: Hard ceiling on any node's parallelism degree (paper Section VI).
+MAX_PARALLELISM = 256
+
+
+@dataclass
+class DseOptions:
+    """Everything configurable about one ``auto_dse`` sweep.
+
+    Grouped the way ``docs/dse.md`` discusses them:
+
+    * **target**: ``device``, ``resource_fraction``, ``clock_ns``;
+    * **search**: ``max_parallelism``, ``keep_existing_schedule``,
+      ``cache``;
+    * **resilience**: ``checkpoint``, ``resume``,
+      ``candidate_timeout_s``, ``time_budget_s``, ``fault_plan``;
+    * **parallelism**: ``jobs`` (speculative candidate evaluation).
+
+    Instances are plain data: picklable (given a picklable
+    ``fault_plan``) and reusable across calls.
+    """
+
+    device: Optional[FPGADevice] = None
+    resource_fraction: float = 1.0
+    clock_ns: float = 10.0
+    max_parallelism: int = MAX_PARALLELISM
+    keep_existing_schedule: bool = False
+    cache: bool = True
+    checkpoint: Optional[str] = None
+    resume: bool = False
+    candidate_timeout_s: Optional[float] = None
+    time_budget_s: Optional[float] = None
+    fault_plan: Optional[object] = None
+    jobs: Optional[int] = None
+
+    def validate(self) -> "DseOptions":
+        """Raise on any function-independent misconfiguration.
+
+        Returns self so call sites can chain.  The engine performs the
+        same checks (plus the function-dependent ones) before creating
+        any journal; this front door lets the CLI and shard drivers
+        fail fast with identical messages.
+        """
+        if self.resource_fraction <= 0:
+            raise ValueError(
+                f"resource_fraction must be > 0, got {self.resource_fraction}"
+            )
+        if self.clock_ns <= 0:
+            raise ValueError(f"clock_ns must be > 0, got {self.clock_ns}")
+        if self.max_parallelism < 1:
+            raise ValueError(
+                f"max_parallelism must be >= 1, got {self.max_parallelism}"
+            )
+        if self.candidate_timeout_s is not None and self.candidate_timeout_s < 0:
+            raise ValueError(
+                f"candidate_timeout_s must be >= 0, got {self.candidate_timeout_s}"
+            )
+        if self.time_budget_s is not None and self.time_budget_s < 0:
+            raise ValueError(
+                f"deadline budget must be >= 0, got {self.time_budget_s}"
+            )
+        if self.jobs is not None and self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        return self
+
+    def replace(self, **changes) -> "DseOptions":
+        """A copy with ``changes`` applied (dataclasses.replace sugar)."""
+        return replace(self, **changes)
+
+    @classmethod
+    def field_names(cls) -> tuple:
+        return tuple(f.name for f in fields(cls))
+
+    @classmethod
+    def from_kwargs(cls, base: Optional["DseOptions"] = None, **kwargs) -> "DseOptions":
+        """Build options from legacy ``auto_dse`` keyword arguments.
+
+        Unknown names raise :class:`TypeError` with the same shape the
+        old signature produced, so migrated and unmigrated callers see
+        equivalent errors.  ``base`` seeds defaults (used by
+        ``Function.auto_DSE`` forwarding).
+        """
+        known = set(cls.field_names())
+        unknown = sorted(set(kwargs) - known)
+        if unknown:
+            raise TypeError(
+                f"auto_dse() got an unexpected keyword argument {unknown[0]!r}"
+            )
+        options = base if base is not None else cls()
+        return replace(options, **kwargs)

@@ -62,9 +62,11 @@ from repro.dse.engine import (
     _prepare_function,
     auto_dse,
 )
+from repro.dse.options import DseOptions
 from repro.dse.stage1 import plan_stage1
 from repro.dse.stage2 import derive_partitions, plan_node_config, stage1_program
 from repro.dse.stats import DseStats
+from repro import trace as _trace
 from repro.affine.lowering import lower_program_incremental
 from repro.depgraph.graph import build_dependence_graph
 from repro.hls.device import FPGADevice, XC7Z020
@@ -115,6 +117,9 @@ class SpeculativeOutcome:
     report: Optional[object] = None
     diagnostic: Optional[Diagnostic] = None
     elapsed_s: Optional[float] = None
+    #: Worker-side spans/metrics (when the driver traces); grafted under
+    #: the committing candidate's span in sequential commit order.
+    trace: Optional[_trace.TraceData] = None
 
 
 @dataclass
@@ -129,6 +134,7 @@ class _WorkerState:
     program: object
     nodes: List[str]
     candidate_timeout_s: Optional[float]
+    trace: bool = False
     config_cache: Dict[Tuple[str, int], object] = field(default_factory=dict)
     nest_cache: Dict[tuple, list] = field(default_factory=dict)
 
@@ -139,6 +145,7 @@ def _spec_init(
     clock_ns: float,
     keep_existing_schedule: bool,
     candidate_timeout_s: Optional[float],
+    trace: bool = False,
 ) -> _WorkerState:
     """Worker initializer: replicate the search preamble once.
 
@@ -147,6 +154,10 @@ def _spec_init(
     ``_search``: reset to structural directives, plan stage 1, build the
     shared polyhedral program.
     """
+    # A forked worker inherits the driver's active tracer object; it
+    # must never record into that orphaned copy.  Per-candidate tracing
+    # (when requested) uses a fresh local tracer in _spec_eval.
+    _trace.install(None)
     estimator = HlsEstimator(device=device, clock_ns=clock_ns, memoize_reports=True)
     structural, saved_partitions = _prepare_function(function, keep_existing_schedule)
     graph = build_dependence_graph(function, analyze=False)
@@ -161,6 +172,7 @@ def _spec_init(
         program=program,
         nodes=[c.name for c in function.computes],
         candidate_timeout_s=candidate_timeout_s,
+        trace=trace,
     )
 
 
@@ -171,8 +183,23 @@ def _spec_eval(state: _WorkerState, payload) -> SpeculativeOutcome:
     node configs, install the trial schedule, derive and apply
     partitions, lower incrementally, estimate with deadline-aware
     retries -- under the same per-candidate watchdog, producing either
-    the identical report or the identical diagnostic.
+    the identical report or the identical diagnostic.  When the driver
+    traces, the candidate's spans are captured into a local tracer and
+    shipped back on the outcome.
     """
+    if not state.trace:
+        return _spec_eval_untraced(state, payload)
+    tracer = _trace.Tracer()
+    previous = _trace.install(tracer)
+    try:
+        outcome = _spec_eval_untraced(state, payload)
+    finally:
+        _trace.install(previous)
+    outcome.trace = tracer.export_data()
+    return outcome
+
+
+def _spec_eval_untraced(state: _WorkerState, payload) -> SpeculativeOutcome:
     par, bank_cap = payload
     function = state.function
     location = SourceLocation(function=function.name)
@@ -265,7 +292,7 @@ class SpeculativeEvaluator:
         self._pool = WorkerPool(
             _spec_init,
             (function, device or XC7Z020, clock_ns, keep_existing_schedule,
-             candidate_timeout_s),
+             candidate_timeout_s, _trace.enabled()),
             _spec_eval,
             jobs,
         )
@@ -315,6 +342,21 @@ class ShardSpec:
     time_budget_s: Optional[float] = None
     fault_plan: Optional[object] = None
     jobs: int = 1  # speculation inside this shard (auto_dse(jobs=...))
+    trace: bool = False  # record a worker-side trace, shipped on the result
+
+    def to_options(self) -> DseOptions:
+        """This shard's engine configuration as one :class:`DseOptions`."""
+        return DseOptions(
+            resource_fraction=self.resource_fraction,
+            clock_ns=self.clock_ns,
+            cache=self.cache,
+            checkpoint=self.checkpoint,
+            resume=self.resume,
+            candidate_timeout_s=self.candidate_timeout_s,
+            time_budget_s=self.time_budget_s,
+            fault_plan=self.fault_plan,
+            jobs=self.jobs if self.jobs > 1 else None,
+        )
 
     @property
     def label(self) -> str:
@@ -361,20 +403,24 @@ class SweepResult:
 
 
 def _run_shard(spec: ShardSpec) -> DseResult:
-    """Run one shard's full sweep (worker-process entry point)."""
+    """Run one shard's full sweep (worker-process entry point).
+
+    With ``spec.trace`` the sweep runs under a fresh local tracer (never
+    the driver's fork-inherited one) and ships its spans/metrics back on
+    ``DseResult.trace`` for deterministic adoption by the driver.
+    """
     function = build_workload(spec.workload, spec.size)
-    return auto_dse(
-        function,
-        resource_fraction=spec.resource_fraction,
-        clock_ns=spec.clock_ns,
-        cache=spec.cache,
-        checkpoint=spec.checkpoint,
-        resume=spec.resume,
-        candidate_timeout_s=spec.candidate_timeout_s,
-        time_budget_s=spec.time_budget_s,
-        fault_plan=spec.fault_plan,
-        jobs=spec.jobs if spec.jobs > 1 else None,
-    )
+    options = spec.to_options()
+    if not spec.trace:
+        return auto_dse(function, options=options)
+    tracer = _trace.Tracer()
+    previous = _trace.install(tracer)
+    try:
+        result = auto_dse(function, options=options)
+    finally:
+        _trace.install(previous)
+    result.trace = tracer.export_data()
+    return result
 
 
 def shard_journal_path(directory: str, spec: ShardSpec) -> str:
@@ -410,6 +456,12 @@ def run_sharded_sweep(
     if jobs is None:
         jobs = min(len(specs), available_jobs()) or 1
     specs = list(specs)
+    if _trace.enabled():
+        # The driver traces: have every shard record a worker-side trace
+        # so the merged timeline shows one named track per shard.
+        specs = [
+            spec if spec.trace else replace(spec, trace=True) for spec in specs
+        ]
     if checkpoint_dir is not None:
         os.makedirs(checkpoint_dir, exist_ok=True)
         specs = [
@@ -454,6 +506,17 @@ def run_sharded_sweep(
         shards.append(
             ShardResult(spec, error=outcome.error, crashed=outcome.crashed)
         )
+
+    tracer = _trace.active()
+    if tracer is not None:
+        # Adopt worker traces in shard declaration order -- each shard
+        # becomes its own named track -- so the merged trace does not
+        # depend on which worker finished first.
+        for tid, shard in enumerate(shards, start=1):
+            if shard.ok and shard.result.trace is not None:
+                tracer.adopt_thread(
+                    shard.result.trace, tid, f"shard {shard.spec.label}"
+                )
 
     merged_stats = DseStats.merge(
         [shard.result.stats for shard in shards if shard.ok and shard.result.stats]

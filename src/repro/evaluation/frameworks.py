@@ -20,6 +20,7 @@ from repro.hls.device import FPGADevice, XC7Z020
 from repro.hls.estimator import HlsEstimator
 from repro.hls.report import SynthesisReport
 from repro.pipeline import estimate, lower_to_affine
+from repro.dse.options import DseOptions
 
 FRAMEWORKS = ("baseline", "pluto", "polsca", "scalehls", "pom", "manual")
 
@@ -106,7 +107,7 @@ def run_framework(
         tiles = {n: result.tile_vector(n) for n in result.orders}
         dse_time = result.dse_time_s
     else:  # pom
-        result = auto_dse(function, device=device, resource_fraction=resource_fraction)
+        result = auto_dse(function, options=DseOptions(device=device, resource_fraction=resource_fraction))
         report = result.report
         tiles = result.tile_vectors()
         dse_time = result.dse_time_s

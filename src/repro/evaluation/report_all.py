@@ -23,6 +23,7 @@ import time
 from contextlib import redirect_stdout
 from typing import Dict, List, Optional
 
+from repro import trace as _trace
 from repro.diagnostics import Diagnostic, Severity, SourceLocation
 from repro.evaluation import ALL_EXPERIMENTS
 from repro.util import atomic_write
@@ -42,11 +43,16 @@ def _run_experiment(payload: tuple) -> dict:
     Module-level (picklable) so :func:`repro.util.run_ordered` can ship
     it to a worker process; also the shared implementation of the
     sequential path, so both produce byte-identical report sections.
+    When tracing is requested, the experiment records into its own local
+    tracer (never a fork-inherited one) and ships the
+    :class:`~repro.trace.TraceData` back for deterministic adoption.
     """
-    name, kwargs = payload
+    name, kwargs, want_trace = payload
     capture = io.StringIO()
     start = time.perf_counter()
     error: Optional[str] = None
+    tracer = _trace.Tracer() if want_trace else None
+    previous = _trace.install(tracer)
     try:
         with redirect_stdout(capture):
             module = ALL_EXPERIMENTS[name]
@@ -56,10 +62,13 @@ def _run_experiment(payload: tuple) -> dict:
                 module.main()
     except Exception as exc:  # keep the report going; record the failure
         error = f"{type(exc).__name__}: {exc}"
+    finally:
+        _trace.install(previous)
     return {
         "text": capture.getvalue(),
         "error": error,
         "elapsed_s": time.perf_counter() - start,
+        "trace": tracer.export_data() if tracer is not None else None,
     }
 
 
@@ -68,6 +77,7 @@ def run_all(
     stream=None,
     failures: Optional[List[Diagnostic]] = None,
     jobs: Optional[int] = None,
+    trace=None,
 ) -> str:
     """Run every experiment; returns (and optionally streams) the report.
 
@@ -77,10 +87,22 @@ def run_all(
     Callers that need the records programmatically pass a ``failures``
     list to collect them.  ``jobs`` > 1 runs experiments in worker
     processes, merged deterministically in ``ALL_EXPERIMENTS`` order.
+
+    ``trace`` enables tracing: pass a path to write a Chrome
+    ``trace_event`` JSON there, or a live
+    :class:`~repro.trace.Tracer` to record into.  Each experiment
+    becomes one named track, adopted in ``ALL_EXPERIMENTS`` order
+    whatever the workers' finish order.
     """
     out = io.StringIO()
     if failures is None:
         failures = []
+    trace_path: Optional[str] = None
+    if isinstance(trace, str):
+        trace_path = trace
+        tracer = _trace.Tracer()
+    else:
+        tracer = trace
 
     def emit(text: str = "") -> None:
         out.write(text + "\n")
@@ -91,7 +113,7 @@ def run_all(
     emit(f"mode: {'quick' if quick else 'paper-scale'}")
     emit()
     payloads = [
-        (name, QUICK_ARGS.get(name, {}) if quick else {})
+        (name, QUICK_ARGS.get(name, {}) if quick else {}, tracer is not None)
         for name in ALL_EXPERIMENTS
     ]
     if jobs is not None and jobs > 1:
@@ -101,12 +123,17 @@ def run_all(
         runs = [
             outcome.value
             if outcome.ok
-            else {"text": "", "error": outcome.error, "elapsed_s": 0.0}
+            else {"text": "", "error": outcome.error, "elapsed_s": 0.0,
+                  "trace": None}
             for outcome in outcomes
         ]
     else:
         runs = [_run_experiment(payload) for payload in payloads]
-    for (name, _), run in zip(payloads, runs):
+    if tracer is not None:
+        for tid, ((name, _, _), run) in enumerate(zip(payloads, runs), start=1):
+            if run.get("trace") is not None:
+                tracer.adopt_thread(run["trace"], tid, f"experiment {name}")
+    for (name, _, _), run in zip(payloads, runs):
         emit("## " + name)
         emit(run["text"].rstrip())
         if run["error"] is not None:
@@ -125,28 +152,43 @@ def run_all(
     emit(f"{total - len(failures)}/{total} experiments succeeded")
     for diagnostic in failures:
         emit(diagnostic.oneline())
+    if trace_path is not None:
+        from repro.trace import export_chrome_trace
+
+        export_chrome_trace(tracer, trace_path)
     return out.getvalue()
 
 
 def main(argv=None) -> int:
+    # The run flags are spelled/documented identically to `repro dse`
+    # and `repro verify` (docs/api.md).
+    from repro.cli import _add_run_flags, _export_trace
+
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
                         help="reduced sizes (minutes instead of ~10 min)")
-    parser.add_argument("--jobs", type=int, default=None, metavar="N",
-                        help="run experiments in N worker processes "
-                             "(deterministic merge; default sequential)")
+    _add_run_flags(parser, jobs=True, stats=True, trace=True)
     parser.add_argument("--output", default=None, help="write the report here")
     args = parser.parse_args(argv)
     failures: List[Diagnostic] = []
+    tracer = _trace.Tracer() if (args.trace or args.stats) else None
     report = run_all(
         quick=args.quick,
         stream=None if args.output else sys.stdout,
         failures=failures,
         jobs=args.jobs,
+        trace=tracer,
     )
     if args.output:
         atomic_write(args.output, report)
         print(f"report written to {args.output}")
+    if tracer is not None and args.stats:
+        from repro.trace import render_metrics, render_text_profile
+
+        print(render_text_profile(tracer, min_fraction=0.001), file=sys.stderr)
+        print(render_metrics(tracer), file=sys.stderr)
+    if tracer is not None and args.trace:
+        _export_trace(tracer, args.trace)
     return 1 if failures else 0
 
 

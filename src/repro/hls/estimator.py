@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro import faults as _faults
+from repro import trace as _trace
 from repro.depgraph.analysis import carried_dependences_generic
 from repro.dsl.dtypes import DType, float32
 from repro.isl.affine import AffineExpr
@@ -131,17 +132,23 @@ class HlsEstimator:
         fault_plan = _faults.active()
         if fault_plan is not None:
             fault_plan.on_estimate()
+        _trace.count("hls.estimate_calls")
         if self.memoize_reports:
             key = func.fingerprint()
             cached = self._report_memo.get(key)
             if cached is not None:
                 self.report_hits += 1
-                return cached
+                with _trace.span("hls.estimate", "hls",
+                                 {"memo": "hit"} if _trace.enabled() else None):
+                    return cached
             self.report_misses += 1
-            report = self._estimate_uncached(func)
+            with _trace.span("hls.estimate", "hls",
+                             {"memo": "miss"} if _trace.enabled() else None):
+                report = self._estimate_uncached(func)
             self._report_memo[key] = report
             return report
-        return self._estimate_uncached(func)
+        with _trace.span("hls.estimate", "hls"):
+            return self._estimate_uncached(func)
 
     def _estimate_uncached(self, func: FuncOp) -> SynthesisReport:
         partitions = func.attributes.get("partitions", {})

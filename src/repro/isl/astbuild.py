@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro import trace as _trace
 from repro.isl import memo as _memo
 from repro.isl.affine import AffineExpr
 from repro.isl.constraint import GE, Constraint
@@ -151,13 +152,17 @@ class AstBuilder:
         """Generate the AST for ``(name, domain, schedule, payload)`` tuples."""
         if not statements:
             return BlockNode([])
-        depth = max(s[2].depth for s in statements)
-        states = [
-            _StmtState(name, domain, schedule.pad_to_depth(depth), payload)
-            for name, domain, schedule, payload in statements
-        ]
-        context = BasicSet.universe(())
-        return self._build_level(states, 0, depth, [], context)
+        args = None
+        if _trace.enabled():
+            args = {"statements": len(statements)}
+        with _trace.span("isl.ast_build", "isl", args):
+            depth = max(s[2].depth for s in statements)
+            states = [
+                _StmtState(name, domain, schedule.pad_to_depth(depth), payload)
+                for name, domain, schedule, payload in statements
+            ]
+            context = BasicSet.universe(())
+            return self._build_level(states, 0, depth, [], context)
 
     # -- internals -------------------------------------------------------
 
@@ -195,8 +200,10 @@ class AstBuilder:
     ) -> AstNode:
         # Watchdog checkpoint: AST building recurses per loop level and
         # projects bounds through the integer-set library; poll the
-        # cooperative deadline once per constructed loop.
+        # cooperative deadline once per constructed loop.  The poll point
+        # doubles as the per-node tracing hook.
         _deadline.checkpoint()
+        _trace.count("isl.ast_nodes")
         dyn_exprs = [s.schedule.dynamic_dim(level) for s in states]
         if all(e.is_zero() for e in dyn_exprs):
             return self._build_level(states, level + 1, depth, outer_iters, context)

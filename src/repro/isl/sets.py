@@ -16,6 +16,7 @@ import math
 from fractions import Fraction
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
+from repro import trace as _trace
 from repro.isl import memo as _memo
 from repro.isl.affine import AffineExpr, ExprLike
 from repro.isl.constraint import EQ, GE, Constraint
@@ -350,8 +351,11 @@ def _eliminate(constraints: List[Constraint], name: str) -> List[Constraint]:
     """
     # Watchdog checkpoint: Fourier-Motzkin is quadratic per step and the
     # constraint system can blow up on skewed nests; this is where a
-    # hung DSE candidate gets preempted cooperatively.
+    # hung DSE candidate gets preempted cooperatively.  The same poll
+    # point doubles as the tracing hook (both are one load + None test
+    # when off, cheap enough for this hot loop).
     _deadline.checkpoint()
+    _trace.count("isl.fm_eliminations")
     # Prefer substitution through an equality with unit coefficient.
     for constraint in constraints:
         if constraint.kind != EQ:

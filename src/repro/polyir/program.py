@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from repro import trace as _trace
 from repro.dsl.function import Function
 from repro.dsl.schedule import (
     After,
@@ -63,11 +64,21 @@ class PolyProgram:
         """Replay directives in recorded order (Fig. 9-c step 2)."""
         if schedule is None:
             schedule = self.function.schedule
-        for directive in schedule:
-            self.apply_directive(directive)
+        with _trace.span("schedule.apply", "schedule"):
+            for directive in schedule:
+                self.apply_directive(directive)
         return self
 
     def apply_directive(self, directive: Directive) -> None:
+        args = None
+        if _trace.enabled():
+            args = {"directive": type(directive).__name__,
+                    "compute": directive.compute_name}
+            _trace.count("polyir.directives_applied")
+        with _trace.span("polyir.transform", "polyir", args):
+            self._apply_directive(directive)
+
+    def _apply_directive(self, directive: Directive) -> None:
         stmt = self.statement(directive.compute_name)
         if isinstance(directive, Interchange):
             self._replace(stmt.name, transforms.interchange(stmt, directive.i, directive.j))

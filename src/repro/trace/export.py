@@ -1,0 +1,188 @@
+"""Trace exporters: Chrome ``trace_event`` JSON, text profile, metrics.
+
+Three read-only views over one :class:`~repro.trace.core.Tracer`:
+
+* :func:`export_chrome_trace` -- the ``chrome://tracing`` / Perfetto
+  ``trace_event`` format (complete ``"ph": "X"`` events, microsecond
+  timestamps, one ``tid`` per merged worker track).  Written atomically
+  via :func:`repro.util.atomic_write` so a crash mid-export never
+  leaves a truncated JSON on disk.
+* :func:`render_text_profile` -- a top-down wall-time profile: the span
+  tree collapsed by (name, category) within each parent, with call
+  counts, total/self wall time, and CPU time.
+* :func:`export_metrics_json` / :func:`render_metrics` -- the metrics
+  registry as JSON or aligned text.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import Dict, List, Optional
+
+from repro.trace.core import Span, Tracer
+from repro.util.atomic import atomic_write
+
+
+def chrome_trace_events(tracer: Tracer, pid: int = 0) -> List[dict]:
+    """The ``traceEvents`` list for one tracer.
+
+    Spans become complete events in declaration order; named worker
+    tracks adopted via :meth:`Tracer.adopt_thread` get ``thread_name``
+    metadata events so Chrome labels them.
+    """
+    events: List[dict] = []
+    names = dict(getattr(tracer, "_thread_names", None) or {})
+    names.setdefault(0, "main")
+    for tid in sorted(names):
+        events.append(
+            {
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "name": "thread_name",
+                "args": {"name": names[tid]},
+            }
+        )
+    for span in tracer.spans:
+        event = {
+            "ph": "X",
+            "pid": pid,
+            "tid": span.tid,
+            "name": span.name,
+            "cat": span.category or "default",
+            "ts": round(span.ts * 1e6, 3),
+            "dur": round(span.dur * 1e6, 3),
+        }
+        args = dict(span.args) if span.args else {}
+        args["cpu_ms"] = round(span.cpu * 1e3, 3)
+        event["args"] = args
+        events.append(event)
+    return events
+
+
+def export_chrome_trace(tracer: Tracer, path: str) -> None:
+    """Write the tracer as Chrome ``trace_event`` JSON, atomically."""
+    payload = {
+        "traceEvents": chrome_trace_events(tracer),
+        "displayTimeUnit": "ms",
+        "otherData": {"metrics": tracer.metrics.as_dict()},
+    }
+    atomic_write(path, json.dumps(payload, indent=1) + "\n")
+
+
+def export_metrics_json(tracer: Tracer, path: str) -> None:
+    """Write the metrics registry as JSON, atomically."""
+    atomic_write(path, json.dumps(tracer.metrics.as_dict(), indent=2) + "\n")
+
+
+class _ProfileNode:
+    """One (name, category) aggregate within its parent in the profile tree."""
+
+    __slots__ = ("name", "category", "calls", "wall", "cpu", "children")
+
+    def __init__(self, name: str, category: str):
+        self.name = name
+        self.category = category
+        self.calls = 0
+        self.wall = 0.0
+        self.cpu = 0.0
+        self.children: Dict[tuple, "_ProfileNode"] = {}
+
+
+def _profile_tree(spans: List[Span]) -> Dict[tuple, _ProfileNode]:
+    """Collapse the span list into an aggregated top-down tree."""
+    roots: Dict[tuple, _ProfileNode] = {}
+    # Each original span maps to the aggregate node it folded into, so
+    # children find their parent's aggregate regardless of collapsing.
+    node_of: Dict[int, _ProfileNode] = {}
+    for index, span in enumerate(spans):
+        siblings = (
+            node_of[span.parent].children
+            if span.parent >= 0 and span.parent in node_of
+            else roots
+        )
+        key = (span.name, span.category)
+        node = siblings.get(key)
+        if node is None:
+            node = siblings[key] = _ProfileNode(span.name, span.category)
+        node.calls += 1
+        node.wall += span.dur
+        node.cpu += span.cpu
+        node_of[index] = node
+    return roots
+
+
+def render_text_profile(tracer: Tracer, min_fraction: float = 0.0) -> str:
+    """A top-down profile of the span tree.
+
+    ``min_fraction`` prunes aggregates below that share of the total
+    traced wall time (children of pruned nodes are dropped with them).
+    """
+    roots = _profile_tree(tracer.spans)
+    total = sum(node.wall for node in roots.values()) or 1e-12
+    out = io.StringIO()
+    out.write("trace profile (top-down, wall time):\n")
+    out.write(
+        f"{'span':<48} {'calls':>7} {'total ms':>10} {'self ms':>10} "
+        f"{'cpu ms':>10} {'%':>6}\n"
+    )
+
+    def emit(nodes: Dict[tuple, _ProfileNode], depth: int) -> None:
+        ordered = sorted(nodes.values(), key=lambda n: n.wall, reverse=True)
+        for node in ordered:
+            if node.wall < min_fraction * total:
+                continue
+            label = "  " * depth + node.name
+            if node.category:
+                label += f" [{node.category}]"
+            child_wall = sum(c.wall for c in node.children.values())
+            out.write(
+                f"{label:<48} {node.calls:>7} {node.wall * 1e3:>10.2f} "
+                f"{max(node.wall - child_wall, 0.0) * 1e3:>10.2f} "
+                f"{node.cpu * 1e3:>10.2f} {100.0 * node.wall / total:>5.1f}%\n"
+            )
+            emit(node.children, depth + 1)
+
+    emit(roots, 0)
+    return out.getvalue().rstrip("\n")
+
+
+def render_metrics(tracer: Tracer) -> str:
+    """The metrics registry as aligned text (for ``--stats`` output)."""
+    data = tracer.metrics.as_dict()
+    lines = ["trace metrics:"]
+    counters = data["counters"]
+    if counters:
+        width = max(len(name) for name in counters)
+        for name in counters:
+            value = counters[name]
+            rendered = f"{value:g}" if isinstance(value, float) else str(value)
+            lines.append(f"  {name:<{width}}  {rendered}")
+    histograms = data["histograms"]
+    for name in histograms:
+        h = histograms[name]
+        lines.append(
+            f"  {name}  n={h['count']} sum={h['sum']:.6g} "
+            f"min={h['min']:.6g} max={h['max']:.6g} mean={h['mean']:.6g}"
+        )
+    if len(lines) == 1:
+        lines.append("  (no metrics recorded)")
+    return "\n".join(lines)
+
+
+def load_chrome_trace(path: str) -> dict:
+    """Parse a Chrome trace written by :func:`export_chrome_trace`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def span_categories(trace: dict) -> Dict[str, int]:
+    """Event counts per category of a loaded Chrome trace (test helper)."""
+    counts: Dict[str, int] = {}
+    for event in trace.get("traceEvents", ()):
+        if event.get("ph") != "X":
+            continue
+        category = event.get("cat", "default")
+        counts[category] = counts.get(category, 0) + 1
+    return counts

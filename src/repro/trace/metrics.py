@@ -1,0 +1,153 @@
+"""Named counters and histograms for the tracing subsystem.
+
+A :class:`MetricsRegistry` is a flat namespace of monotonically
+increasing counters (``registry.count("isl.fm_eliminations")``) and
+value histograms (``registry.observe("dse.retry_backoff_s", 0.05)``).
+Metric names are dotted paths grouped by layer -- the catalogue lives in
+``docs/observability.md``.
+
+The registry is deliberately dumb: plain dict increments, no locks (the
+framework is single-threaded per process), no reservoir sampling.  The
+DSE engine bulk-loads most of its numbers from the authoritative
+:class:`~repro.dse.stats.DseStats` counters at the end of a sweep, so
+the hot loops only pay for the handful of metrics that cannot be
+reconstructed after the fact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+
+class Histogram:
+    """Streaming summary of observed values: count/sum/min/max.
+
+    Enough to answer "how many times and how expensive" without keeping
+    every sample; merging two histograms is exact for these statistics,
+    which is what lets worker-process metrics fold into the driver's
+    registry without loss.
+    """
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def merge(self, other: "Histogram") -> None:
+        self.count += other.count
+        self.total += other.total
+        for bound in (other.min, other.max):
+            if bound is None:
+                continue
+            if self.min is None or bound < self.min:
+                self.min = bound
+            if self.max is None or bound > self.max:
+                self.max = bound
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.min is not None else 0.0,
+            "max": self.max if self.max is not None else 0.0,
+            "mean": self.mean,
+        }
+
+    def __repr__(self):
+        return f"Histogram(count={self.count}, sum={self.total:.6g})"
+
+
+class MetricsRegistry:
+    """A namespace of named counters and histograms."""
+
+    __slots__ = ("counters", "histograms")
+
+    def __init__(self):
+        self.counters: Dict[str, float] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    # -- recording -----------------------------------------------------
+
+    def count(self, name: str, n: float = 1) -> None:
+        """Add ``n`` to counter ``name`` (created at zero on first use)."""
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample into histogram ``name``."""
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = Histogram()
+        histogram.observe(value)
+
+    # -- reading -------------------------------------------------------
+
+    def value(self, name: str) -> float:
+        """Current counter value (zero when never incremented)."""
+        return self.counters.get(name, 0)
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry in: counters sum, histograms merge."""
+        for name, value in other.counters.items():
+            self.counters[name] = self.counters.get(name, 0) + value
+        for name, histogram in other.histograms.items():
+            mine = self.histograms.get(name)
+            if mine is None:
+                mine = self.histograms[name] = Histogram()
+            mine.merge(histogram)
+
+    def merge_plain(
+        self,
+        counters: Dict[str, float],
+        histograms: Iterable[Tuple[str, int, float, Optional[float], Optional[float]]] = (),
+    ) -> None:
+        """Fold in the picklable form produced by :meth:`as_plain`."""
+        for name, value in counters.items():
+            self.counters[name] = self.counters.get(name, 0) + value
+        for name, count, total, lo, hi in histograms:
+            mine = self.histograms.get(name)
+            if mine is None:
+                mine = self.histograms[name] = Histogram()
+            other = Histogram()
+            other.count, other.total, other.min, other.max = count, total, lo, hi
+            mine.merge(other)
+
+    def as_plain(self):
+        """A picklable ``(counters, histograms)`` snapshot for workers."""
+        return (
+            dict(self.counters),
+            [
+                (name, h.count, h.total, h.min, h.max)
+                for name, h in self.histograms.items()
+            ],
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready form: the shape the metrics exporter writes."""
+        return {
+            "counters": {name: self.counters[name] for name in sorted(self.counters)},
+            "histograms": {
+                name: self.histograms[name].as_dict()
+                for name in sorted(self.histograms)
+            },
+        }
+
+    def __repr__(self):
+        return (
+            f"MetricsRegistry({len(self.counters)} counters, "
+            f"{len(self.histograms)} histograms)"
+        )

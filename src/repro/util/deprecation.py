@@ -1,0 +1,58 @@
+"""Deprecation policy helpers.
+
+The framework's deprecation contract (``docs/api.md``): a deprecated
+call form keeps working, behaves identically to its replacement, and
+emits exactly one :class:`DeprecationWarning` per call naming the
+replacement.  Internal code never uses deprecated forms -- CI runs the
+tier-1 suite under ``-W error::DeprecationWarning`` to enforce it.
+
+Like everything in :mod:`repro.util`, this imports nothing from the
+rest of :mod:`repro`.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Mapping
+
+
+def warn_deprecated(message: str, stacklevel: int = 2) -> None:
+    """Emit one :class:`DeprecationWarning` attributed to the caller.
+
+    ``stacklevel`` counts from the *caller of this helper*: the default
+    2 points the warning at whoever invoked the deprecated API directly.
+    """
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel + 1)
+
+
+def warn_deprecated_kwargs(
+    api: str,
+    replacement: str,
+    kwargs: Mapping[str, object],
+    stacklevel: int = 2,
+) -> None:
+    """Warn -- once per call, whatever the kwarg count -- about a legacy
+    keyword-argument call form.
+
+    ``api`` names the called function, ``replacement`` the supported
+    form.  No-op when ``kwargs`` is empty, so shims can call it
+    unconditionally.
+    """
+    if not kwargs:
+        return
+    names = ", ".join(sorted(kwargs))
+    warn_deprecated(
+        f"{api}: keyword argument(s) {names} are deprecated; "
+        f"pass {replacement} instead",
+        stacklevel=stacklevel + 1,
+    )
+
+
+def warn_deprecated_alias(
+    old: str, new: str, context: str = "", stacklevel: int = 2
+) -> None:
+    """Warn about a deprecated spelling (CLI flag, function alias)."""
+    suffix = f" ({context})" if context else ""
+    warn_deprecated(
+        f"{old} is deprecated; use {new}{suffix}", stacklevel=stacklevel + 1
+    )

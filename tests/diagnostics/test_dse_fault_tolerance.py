@@ -7,6 +7,7 @@ from repro.diagnostics import DiagnosticError
 from repro.hls.estimator import HlsEstimator, TransientEstimatorError
 from repro.workloads import polybench
 from repro.workloads.stencils import seidel
+from repro.dse.options import DseOptions
 
 pytestmark = pytest.mark.diagnostics
 
@@ -18,7 +19,7 @@ def test_illegal_existing_schedule_rejected_at_preflight():
     f = seidel(8, 2)
     f.get_compute("S").interchange("t", "j")
     with pytest.raises(DiagnosticError) as info:
-        f.auto_DSE(keep_existing_schedule=True)
+        f.auto_DSE(options=DseOptions(keep_existing_schedule=True))
     assert info.value.code == "LEG001"
     assert "carried" in str(info.value) and "A" in str(info.value)
 
@@ -47,7 +48,7 @@ def test_failing_candidates_are_quarantined_not_fatal(monkeypatch):
     assert any(d.code == "DSE001" for d in result.diagnostics)
 
     monkeypatch.setattr(engine_mod, "plan_node_config", original)
-    capped = polybench.gemm(16).auto_DSE(max_parallelism=2)
+    capped = polybench.gemm(16).auto_DSE(options=DseOptions(max_parallelism=2))
     assert result.report.total_cycles == capped.report.total_cycles
 
 

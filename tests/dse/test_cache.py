@@ -11,6 +11,7 @@ from repro.hls.estimator import HlsEstimator
 from repro.hls.report import speedup
 from repro.polyir.program import PolyProgram
 from repro.workloads import ALL_SUITES, polybench
+from repro.dse.options import DseOptions
 
 CACHE_WORKLOADS = ["gemm", "bicg", "mm2", "mm3", "gesummv"]
 
@@ -20,13 +21,13 @@ def _schedule_fps(result):
 
 
 class TestCachedEqualsUncached:
-    """auto_dse(f) and auto_dse(f, cache=False) are interchangeable."""
+    """auto_dse(f) and auto_dse(f, options=DseOptions(cache=False)) are interchangeable."""
 
     @pytest.mark.parametrize("name", CACHE_WORKLOADS)
     def test_identical_results(self, name):
         factory = getattr(polybench, name)
-        uncached = auto_dse(factory(64), cache=False)
-        cached = auto_dse(factory(64), cache=True)
+        uncached = auto_dse(factory(64), options=DseOptions(cache=False))
+        cached = auto_dse(factory(64), options=DseOptions(cache=True))
         assert cached.report == uncached.report
         assert _schedule_fps(cached) == _schedule_fps(uncached)
         assert cached.tile_vectors() == uncached.tile_vectors()
@@ -124,7 +125,7 @@ class TestDseStats:
         assert "dse profile" in stats.summary()
 
     def test_uncached_run_reports_cache_off(self):
-        result = auto_dse(polybench.gemm(32), cache=False)
+        result = auto_dse(polybench.gemm(32), options=DseOptions(cache=False))
         stats = result.stats
         assert not stats.cache_enabled
         # No layer may claim a hit when caching is disabled.
@@ -140,8 +141,8 @@ class TestDseStats:
 @pytest.mark.perfsmoke
 def test_perfsmoke_cached_dse():
     """One cached DSE run: caching engages, the search does not shrink."""
-    uncached = auto_dse(polybench.mm2(64), cache=False)
-    cached = auto_dse(polybench.mm2(64), cache=True)
+    uncached = auto_dse(polybench.mm2(64), options=DseOptions(cache=False))
+    cached = auto_dse(polybench.mm2(64), options=DseOptions(cache=True))
     stats = cached.stats
     layer_hits = (
         stats.eval_cache_hits

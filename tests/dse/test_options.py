@@ -1,0 +1,166 @@
+"""DseOptions consolidation: parity with the legacy kwarg surface.
+
+The deprecation contract (``docs/api.md``): every legacy call form --
+loose keyword arguments on ``auto_dse``/``Function.auto_DSE``, the
+positional device argument, the pre-unification CLI spellings -- keeps
+working, behaves *identically* to the ``DseOptions`` form, and warns
+exactly once per call.
+"""
+
+import warnings
+
+import pytest
+
+from repro.dse import MAX_PARALLELISM, DseOptions, auto_dse
+from repro.hls import XC7Z020
+from repro.workloads import polybench
+
+
+def _outcome(result):
+    return (
+        result.report,
+        result.tile_vectors(),
+        result.evaluations,
+        result.parallelism,
+    )
+
+
+def _legacy(call):
+    """Run a deprecated call form, asserting exactly one warning."""
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        result = call()
+    deprecations = [w for w in caught if w.category is DeprecationWarning]
+    assert len(deprecations) == 1, [str(w.message) for w in caught]
+    return result, str(deprecations[0].message)
+
+
+class TestParity:
+    def test_kwargs_and_options_identical(self):
+        legacy, _ = _legacy(
+            lambda: auto_dse(polybench.gemm(16), resource_fraction=0.5, cache=False)
+        )
+        modern = auto_dse(
+            polybench.gemm(16),
+            options=DseOptions(resource_fraction=0.5, cache=False),
+        )
+        assert _outcome(legacy) == _outcome(modern)
+
+    def test_default_options_match_no_options(self):
+        bare = auto_dse(polybench.gemm(16))
+        explicit = auto_dse(polybench.gemm(16), options=DseOptions())
+        assert _outcome(bare) == _outcome(explicit)
+
+    def test_method_kwargs_and_options_identical(self):
+        legacy, _ = _legacy(
+            lambda: polybench.gemm(16).auto_DSE(resource_fraction=0.5)
+        )
+        modern = polybench.gemm(16).auto_DSE(
+            options=DseOptions(resource_fraction=0.5)
+        )
+        assert _outcome(legacy) == _outcome(modern)
+
+    def test_positional_device_matches_options_device(self):
+        legacy, message = _legacy(lambda: auto_dse(polybench.gemm(16), XC7Z020))
+        modern = auto_dse(polybench.gemm(16), options=DseOptions(device=XC7Z020))
+        assert _outcome(legacy) == _outcome(modern)
+        assert "DseOptions" in message
+
+
+class TestWarningDiscipline:
+    def test_function_kwargs_warn_once_naming_all_kwargs(self):
+        _, message = _legacy(
+            lambda: auto_dse(polybench.gemm(16), cache=False, resource_fraction=0.5)
+        )
+        assert "cache" in message and "resource_fraction" in message
+        assert "DseOptions" in message
+
+    def test_method_kwargs_warn_once(self):
+        _, message = _legacy(lambda: polybench.gemm(16).auto_DSE(cache=False))
+        assert "auto_DSE" in message
+
+    def test_options_form_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            auto_dse(polybench.gemm(16), options=DseOptions())
+            polybench.gemm(16).auto_DSE(options=DseOptions(cache=False))
+
+
+class TestErrors:
+    def test_mixing_options_and_kwargs_raises(self):
+        with pytest.raises(TypeError, match="not both"):
+            auto_dse(polybench.gemm(16), options=DseOptions(), cache=False)
+        with pytest.raises(TypeError, match="not both"):
+            polybench.gemm(16).auto_DSE(options=DseOptions(), cache=False)
+
+    def test_unknown_kwarg_raises_like_the_old_signature(self):
+        # A typo'd kwarg is an error, not a deprecation: no warning.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            with pytest.raises(
+                TypeError, match="unexpected keyword argument 'bogus'"
+            ):
+                auto_dse(polybench.gemm(16), bogus=1)
+
+    @pytest.mark.parametrize(
+        "changes, match",
+        [
+            ({"resource_fraction": 0.0}, "resource_fraction must be > 0"),
+            ({"clock_ns": -1.0}, "clock_ns must be > 0"),
+            ({"max_parallelism": 0}, "max_parallelism must be >= 1"),
+            ({"candidate_timeout_s": -1.0}, "candidate_timeout_s must be >= 0"),
+            ({"time_budget_s": -1.0}, "deadline budget must be >= 0"),
+            ({"jobs": 0}, "jobs must be >= 1"),
+        ],
+    )
+    def test_validate_messages(self, changes, match):
+        with pytest.raises(ValueError, match=match):
+            DseOptions(**changes).validate()
+
+    def test_engine_rejects_invalid_options_identically(self):
+        with pytest.raises(ValueError, match="resource_fraction must be > 0"):
+            auto_dse(
+                polybench.gemm(16), options=DseOptions(resource_fraction=-1.0)
+            )
+
+
+class TestDataclassSurface:
+    def test_defaults(self):
+        options = DseOptions()
+        assert options.resource_fraction == 1.0
+        assert options.max_parallelism == MAX_PARALLELISM
+        assert options.cache is True
+        assert options.jobs is None
+
+    def test_replace_returns_modified_copy(self):
+        base = DseOptions()
+        tweaked = base.replace(cache=False, jobs=4)
+        assert tweaked.cache is False and tweaked.jobs == 4
+        assert base.cache is True and base.jobs is None
+
+    def test_from_kwargs_seeds_from_base(self):
+        base = DseOptions(resource_fraction=0.5)
+        options = DseOptions.from_kwargs(base, cache=False)
+        assert options.resource_fraction == 0.5
+        assert options.cache is False
+
+    def test_from_kwargs_rejects_unknown(self):
+        with pytest.raises(
+            TypeError, match="unexpected keyword argument 'nope'"
+        ):
+            DseOptions.from_kwargs(nope=1)
+
+    def test_field_names_cover_legacy_surface(self):
+        names = set(DseOptions.field_names())
+        assert {
+            "device", "resource_fraction", "clock_ns", "max_parallelism",
+            "keep_existing_schedule", "cache", "checkpoint", "resume",
+            "candidate_timeout_s", "time_budget_s", "fault_plan", "jobs",
+        } == names
+
+    def test_exported_from_package_roots(self):
+        import repro
+        import repro.dse
+
+        assert repro.DseOptions is DseOptions
+        assert repro.dse.DseOptions is DseOptions

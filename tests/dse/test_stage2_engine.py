@@ -10,6 +10,7 @@ from repro.hls.report import speedup
 from repro.pipeline import estimate, lower_to_affine
 from repro.workloads import polybench, stencils
 from repro.dse import auto_dse, plan_stage1
+from repro.dse.options import DseOptions
 from repro.dse.stage2 import (
     config_directives,
     derive_partitions,
@@ -118,7 +119,7 @@ class TestAutoDse:
 
     def test_resource_constraint_respected(self):
         f = polybench.gemm(64)
-        result = auto_dse(f, resource_fraction=0.25)
+        result = auto_dse(f, options=DseOptions(resource_fraction=0.25))
         quarter = XC7Z020.scaled(0.25)
         assert result.report.resources.dsp <= quarter.dsp
         assert result.report.resources.lut <= quarter.lut
@@ -127,7 +128,7 @@ class TestAutoDse:
         f1 = polybench.gemm(64)
         full = auto_dse(f1)
         f2 = polybench.gemm(64)
-        tight = auto_dse(f2, resource_fraction=0.1)
+        tight = auto_dse(f2, options=DseOptions(resource_fraction=0.1))
         assert tight.report.total_cycles >= full.report.total_cycles
 
     def test_schedule_installed_on_function(self):

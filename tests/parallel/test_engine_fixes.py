@@ -21,6 +21,7 @@ from repro.faults import Fault, FaultPlan
 from repro.hls.device import XC7Z020
 from repro.util.deadline import Deadline, DeadlineExceeded, deadline_scope
 from repro.workloads import polybench
+from repro.dse.options import DseOptions
 
 pytestmark = pytest.mark.parallel
 
@@ -56,9 +57,7 @@ class TestDeadlineAwareBackoff:
         monkeypatch.setattr("repro.dse.engine.RETRY_BACKOFF_S", 30.0)
         plan = FaultPlan([Fault("transient", 1, count=1)])
         start = time.perf_counter()
-        result = auto_dse(
-            polybench.gemm(16), fault_plan=plan, candidate_timeout_s=0.2
-        )
+        result = auto_dse(polybench.gemm(16), options=DseOptions(fault_plan=plan, candidate_timeout_s=0.2))
         assert time.perf_counter() - start < 10.0
         assert result.stats.timeouts == 1
         timeout = next(
@@ -80,7 +79,7 @@ class TestDeadlineAwareBackoff:
         monkeypatch.setattr("repro.dse.engine.RETRY_BACKOFF_S", 30.0)
         plan = FaultPlan([Fault("transient", 1, count=1)])
         start = time.perf_counter()
-        result = auto_dse(polybench.gemm(16), fault_plan=plan, time_budget_s=0.3)
+        result = auto_dse(polybench.gemm(16), options=DseOptions(fault_plan=plan, time_budget_s=0.3))
         assert time.perf_counter() - start < 10.0
         assert result.stats.time_budget_hit
         assert "DSE004" in [d.code for d in result.diagnostics]
@@ -93,7 +92,7 @@ class TestBackoffAttribution:
         the finally-timer; it must land in stats.retry_backoff_s only."""
         monkeypatch.setattr("repro.dse.engine.RETRY_BACKOFF_S", 0.3)
         plan = FaultPlan([Fault("transient", 1, count=1)])
-        result = auto_dse(polybench.gemm(16), fault_plan=plan)
+        result = auto_dse(polybench.gemm(16), options=DseOptions(fault_plan=plan))
         assert result.stats.estimator_retries == 1
         assert result.stats.retry_backoff_s >= 0.25
         # gemm(16) estimation is milliseconds; with the old bug the
@@ -116,40 +115,30 @@ class TestNoStrayJournalOnEarlyRaise:
     def test_negative_time_budget(self, tmp_path):
         journal = tmp_path / "sweep.jsonl"
         with pytest.raises(ValueError):
-            auto_dse(
-                polybench.gemm(16), checkpoint=str(journal), time_budget_s=-1.0
-            )
+            auto_dse(polybench.gemm(16), options=DseOptions(checkpoint=str(journal), time_budget_s=-1.0))
         self._assert_no_journal(journal)
 
     def test_negative_candidate_timeout(self, tmp_path):
         journal = tmp_path / "sweep.jsonl"
         with pytest.raises(ValueError):
-            auto_dse(
-                polybench.gemm(16),
-                checkpoint=str(journal),
-                candidate_timeout_s=-0.5,
-            )
+            auto_dse(polybench.gemm(16), options=DseOptions(checkpoint=str(journal), candidate_timeout_s=-0.5))
         self._assert_no_journal(journal)
 
     def test_bad_jobs(self, tmp_path):
         journal = tmp_path / "sweep.jsonl"
         with pytest.raises(ValueError):
-            auto_dse(polybench.gemm(16), checkpoint=str(journal), jobs=-2)
+            auto_dse(polybench.gemm(16), options=DseOptions(checkpoint=str(journal), jobs=-2))
         self._assert_no_journal(journal)
 
     def test_hang_plan_without_watchdog(self, tmp_path):
         journal = tmp_path / "sweep.jsonl"
         with pytest.raises(ValueError):
-            auto_dse(
-                polybench.gemm(16),
-                checkpoint=str(journal),
-                fault_plan=FaultPlan([Fault("hang", 1)]),
-            )
+            auto_dse(polybench.gemm(16), options=DseOptions(checkpoint=str(journal), fault_plan=FaultPlan([Fault("hang", 1)])))
         self._assert_no_journal(journal)
 
     def test_resume_without_checkpoint_path(self):
         with pytest.raises(DiagnosticError) as info:
-            auto_dse(polybench.gemm(16), resume=True)
+            auto_dse(polybench.gemm(16), options=DseOptions(resume=True))
         assert info.value.code == "DSE005"
 
     def test_journal_discard_removes_the_file(self, tmp_path):
@@ -166,9 +155,7 @@ class TestNoStrayJournalOnEarlyRaise:
 class TestQuarantineElapsedAccounting:
     def test_timeout_quarantine_carries_elapsed_time(self):
         plan = FaultPlan([Fault("hang", 1)])
-        result = auto_dse(
-            polybench.gemm(16), fault_plan=plan, candidate_timeout_s=0.5
-        )
+        result = auto_dse(polybench.gemm(16), options=DseOptions(fault_plan=plan, candidate_timeout_s=0.5))
         timeouts = [q for q in result.quarantine if q.diagnostic.code == "DSE003"]
         assert len(timeouts) == 1
         assert timeouts[0].elapsed_s is not None
@@ -178,7 +165,7 @@ class TestQuarantineElapsedAccounting:
 
     def test_non_timeout_quarantine_has_no_elapsed(self):
         plan = FaultPlan([Fault("permanent", 1)])
-        result = auto_dse(polybench.gemm(16), fault_plan=plan)
+        result = auto_dse(polybench.gemm(16), options=DseOptions(fault_plan=plan))
         assert len(result.quarantine) == 1
         candidate = result.quarantine[0]
         assert candidate.diagnostic.code == "DSE001"

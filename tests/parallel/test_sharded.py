@@ -15,6 +15,7 @@ from repro.dse.parallel import (
 )
 from repro.dse.stats import DseStats
 from repro.faults import Fault, FaultPlan
+from repro.dse.options import DseOptions
 
 pytestmark = pytest.mark.parallel
 
@@ -34,10 +35,7 @@ def fingerprint(result):
 
 def _sequential_baselines(specs):
     return {
-        spec.label: auto_dse(
-            build_workload(spec.workload, spec.size),
-            fault_plan=spec.fault_plan,
-        )
+        spec.label: auto_dse(build_workload(spec.workload, spec.size), options=DseOptions(fault_plan=spec.fault_plan))
         for spec in specs
     }
 
@@ -140,7 +138,7 @@ def test_seeded_fault_injection_through_the_pool(tmp_path, seed):
     assert sweep.ok
     for i, shard in enumerate(sweep.shards):
         plan = FaultPlan.random(seed=seed + i, candidates=10, kinds=kinds)
-        expected = auto_dse(build_workload(shard.spec.workload, SIZE), fault_plan=plan)
+        expected = auto_dse(build_workload(shard.spec.workload, SIZE), options=DseOptions(fault_plan=plan))
         assert fingerprint(shard.result) == fingerprint(expected), shard.spec.label
         assert [
             (q.parallelism, q.bank_cap, q.diagnostic.code)

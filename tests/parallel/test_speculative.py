@@ -11,6 +11,7 @@ from repro.affine import print_func
 from repro.dse import auto_dse
 from repro.faults import Fault, FaultPlan
 from repro.workloads import polybench
+from repro.dse.options import DseOptions
 
 pytestmark = pytest.mark.parallel
 
@@ -42,7 +43,7 @@ class TestSpeculativeEqualsSequential:
     def test_identical_results(self, name):
         factory = getattr(polybench, name)
         sequential = auto_dse(factory(16))
-        parallel = auto_dse(factory(16), jobs=2)
+        parallel = auto_dse(factory(16), options=DseOptions(jobs=2))
         _assert_identical(parallel, sequential)
         assert parallel.stats.speculation_jobs == 2
         assert parallel.stats.speculative_submitted > 0
@@ -50,33 +51,33 @@ class TestSpeculativeEqualsSequential:
     def test_identical_when_uncached(self):
         # The full matrix: uncached+parallel == cached+sequential.
         sequential = auto_dse(polybench.gemm(16))
-        parallel = auto_dse(polybench.gemm(16), cache=False, jobs=2)
+        parallel = auto_dse(polybench.gemm(16), options=DseOptions(cache=False, jobs=2))
         _assert_identical(parallel, sequential)
 
     def test_more_workers_than_work(self):
         sequential = auto_dse(polybench.bicg(16))
-        parallel = auto_dse(polybench.bicg(16), jobs=4)
+        parallel = auto_dse(polybench.bicg(16), options=DseOptions(jobs=4))
         _assert_identical(parallel, sequential)
         assert parallel.stats.speculation_jobs == 4
 
 
 def test_jobs_one_means_no_speculation():
-    result = auto_dse(polybench.gemm(16), jobs=1)
+    result = auto_dse(polybench.gemm(16), options=DseOptions(jobs=1))
     assert result.stats.speculation_jobs == 0
     assert result.stats.speculative_submitted == 0
 
 
 def test_jobs_must_be_positive():
     with pytest.raises(ValueError):
-        auto_dse(polybench.gemm(16), jobs=0)
+        auto_dse(polybench.gemm(16), options=DseOptions(jobs=0))
 
 
 def test_speculative_sweep_journals_every_candidate(tmp_path):
     """Remote commits write the same journal records as local ones."""
     journal = tmp_path / "gemm.jsonl"
-    first = auto_dse(polybench.gemm(16), checkpoint=str(journal), jobs=2)
+    first = auto_dse(polybench.gemm(16), options=DseOptions(checkpoint=str(journal), jobs=2))
     assert first.stats.speculative_used > 0  # remote commits happened
-    resumed = auto_dse(polybench.gemm(16), checkpoint=str(journal), resume=True)
+    resumed = auto_dse(polybench.gemm(16), options=DseOptions(checkpoint=str(journal), resume=True))
     assert resumed.report == first.report
     assert resumed.tile_vectors() == first.tile_vectors()
     assert resumed.stats.replayed == first.stats.candidates
@@ -88,7 +89,7 @@ def test_speculation_disabled_under_fault_injection():
     with a DSE008 note, and the faulty run still converges."""
     baseline = auto_dse(polybench.gemm(16))
     plan = FaultPlan([Fault("transient", 1, count=1)])
-    result = auto_dse(polybench.gemm(16), fault_plan=plan, jobs=4)
+    result = auto_dse(polybench.gemm(16), options=DseOptions(fault_plan=plan, jobs=4))
     assert result.stats.speculation_jobs == 0
     assert result.stats.speculative_submitted == 0
     assert "DSE008" in [d.code for d in result.diagnostics]

@@ -6,6 +6,7 @@ import pytest
 
 from repro.diagnostics import DiagnosticError
 from repro.workloads import polybench
+from repro.dse.options import DseOptions
 
 pytestmark = pytest.mark.resilience
 
@@ -24,7 +25,7 @@ def fingerprint(result):
 def test_checkpointed_run_matches_plain_run(tmp_path):
     journal = tmp_path / "gemm.jsonl"
     baseline = polybench.gemm(16).auto_DSE()
-    checkpointed = polybench.gemm(16).auto_DSE(checkpoint=str(journal))
+    checkpointed = polybench.gemm(16).auto_DSE(options=DseOptions(checkpoint=str(journal)))
     assert fingerprint(checkpointed) == fingerprint(baseline)
     assert checkpointed.journal_path == str(journal)
     lines = journal.read_text().splitlines()
@@ -36,8 +37,8 @@ def test_checkpointed_run_matches_plain_run(tmp_path):
 
 def test_resume_replays_all_candidates(tmp_path):
     journal = tmp_path / "gemm.jsonl"
-    first = polybench.gemm(16).auto_DSE(checkpoint=str(journal))
-    resumed = polybench.gemm(16).auto_DSE(checkpoint=str(journal), resume=True)
+    first = polybench.gemm(16).auto_DSE(options=DseOptions(checkpoint=str(journal)))
+    resumed = polybench.gemm(16).auto_DSE(options=DseOptions(checkpoint=str(journal), resume=True))
     assert fingerprint(resumed) == fingerprint(first)
     assert resumed.stats.replayed == first.stats.candidates
     assert resumed.stats.candidates == 0
@@ -45,32 +46,30 @@ def test_resume_replays_all_candidates(tmp_path):
 
 def test_resume_requires_a_checkpoint_path():
     with pytest.raises(DiagnosticError) as info:
-        polybench.gemm(16).auto_DSE(resume=True)
+        polybench.gemm(16).auto_DSE(options=DseOptions(resume=True))
     assert info.value.code == "DSE005"
 
 
 def test_resume_rejects_missing_journal(tmp_path):
     with pytest.raises(DiagnosticError) as info:
-        polybench.gemm(16).auto_DSE(
-            checkpoint=str(tmp_path / "nope.jsonl"), resume=True
-        )
+        polybench.gemm(16).auto_DSE(options=DseOptions(checkpoint=str(tmp_path / "nope.jsonl"), resume=True))
     assert info.value.code == "DSE005"
 
 
 def test_resume_rejects_stale_workload(tmp_path):
     journal = tmp_path / "gemm16.jsonl"
-    polybench.gemm(16).auto_DSE(checkpoint=str(journal))
+    polybench.gemm(16).auto_DSE(options=DseOptions(checkpoint=str(journal)))
     with pytest.raises(DiagnosticError) as info:
-        polybench.gemm(32).auto_DSE(checkpoint=str(journal), resume=True)
+        polybench.gemm(32).auto_DSE(options=DseOptions(checkpoint=str(journal), resume=True))
     assert info.value.code == "DSE005"
     assert "workload_fp" in str(info.value)
 
 
 def test_resume_rejects_foreign_workload(tmp_path):
     journal = tmp_path / "gemm.jsonl"
-    polybench.gemm(16).auto_DSE(checkpoint=str(journal))
+    polybench.gemm(16).auto_DSE(options=DseOptions(checkpoint=str(journal)))
     with pytest.raises(DiagnosticError) as info:
-        polybench.bicg(16).auto_DSE(checkpoint=str(journal), resume=True)
+        polybench.bicg(16).auto_DSE(options=DseOptions(checkpoint=str(journal), resume=True))
     assert info.value.code == "DSE005"
 
 
@@ -78,25 +77,25 @@ def test_resume_rejects_garbage_header(tmp_path):
     journal = tmp_path / "bad.jsonl"
     journal.write_text("this is not json\n")
     with pytest.raises(DiagnosticError) as info:
-        polybench.gemm(16).auto_DSE(checkpoint=str(journal), resume=True)
+        polybench.gemm(16).auto_DSE(options=DseOptions(checkpoint=str(journal), resume=True))
     assert info.value.code == "DSE005"
 
 
 def test_truncated_trailing_line_is_tolerated(tmp_path):
     journal = tmp_path / "gemm.jsonl"
-    baseline = polybench.gemm(16).auto_DSE(checkpoint=str(journal))
+    baseline = polybench.gemm(16).auto_DSE(options=DseOptions(checkpoint=str(journal)))
     # Simulate a crash mid-write: cut the last record in half.
     lines = journal.read_text().splitlines()
     lines[-1] = lines[-1][: len(lines[-1]) // 2]
     journal.write_text("\n".join(lines) + "\n")
-    resumed = polybench.gemm(16).auto_DSE(checkpoint=str(journal), resume=True)
+    resumed = polybench.gemm(16).auto_DSE(options=DseOptions(checkpoint=str(journal), resume=True))
     assert fingerprint(resumed) == fingerprint(baseline)
     assert any(d.code == "DSE006" for d in resumed.diagnostics)
 
 
 def test_corrupt_middle_record_is_retried_not_fatal(tmp_path):
     journal = tmp_path / "gemm.jsonl"
-    baseline = polybench.gemm(16).auto_DSE(checkpoint=str(journal))
+    baseline = polybench.gemm(16).auto_DSE(options=DseOptions(checkpoint=str(journal)))
     lines = journal.read_text().splitlines()
     eval_indices = [
         i for i, l in enumerate(lines)
@@ -105,7 +104,7 @@ def test_corrupt_middle_record_is_retried_not_fatal(tmp_path):
     middle = eval_indices[len(eval_indices) // 2]
     lines[middle] = lines[middle][: len(lines[middle]) // 3]
     journal.write_text("\n".join(lines) + "\n")
-    resumed = polybench.gemm(16).auto_DSE(checkpoint=str(journal), resume=True)
+    resumed = polybench.gemm(16).auto_DSE(options=DseOptions(checkpoint=str(journal), resume=True))
     assert fingerprint(resumed) == fingerprint(baseline)
     # The mangled candidate was re-evaluated for real.
     assert resumed.stats.candidates >= 1
@@ -128,12 +127,12 @@ def test_journal_survives_interrupted_sweep(tmp_path, monkeypatch):
         return original(graph, latencies, active)
 
     monkeypatch.setattr(engine_mod, "_pick_bottleneck", interrupting)
-    partial = polybench.gemm(16).auto_DSE(checkpoint=str(journal))
+    partial = polybench.gemm(16).auto_DSE(options=DseOptions(checkpoint=str(journal)))
     assert partial.stats.interrupted
     assert partial.degraded
     assert any(d.code == "DSE007" for d in partial.diagnostics)
 
     monkeypatch.setattr(engine_mod, "_pick_bottleneck", original)
-    resumed = polybench.gemm(16).auto_DSE(checkpoint=str(journal), resume=True)
+    resumed = polybench.gemm(16).auto_DSE(options=DseOptions(checkpoint=str(journal), resume=True))
     assert fingerprint(resumed) == fingerprint(baseline)
     assert resumed.stats.replayed >= 1

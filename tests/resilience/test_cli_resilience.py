@@ -5,6 +5,7 @@ import pytest
 import repro.dse.engine as engine_mod
 from repro.cli import main
 from repro.workloads import polybench
+from repro.dse.options import DseOptions
 
 pytestmark = pytest.mark.resilience
 
@@ -83,9 +84,9 @@ def test_candidate_timeout_flag_threads_to_the_engine(monkeypatch):
     seen = {}
     original = engine_mod.auto_dse
 
-    def spy(function, **kwargs):
-        seen.update(kwargs)
-        return original(function, **kwargs)
+    def spy(function, options=None, **kwargs):
+        seen["options"] = options
+        return original(function, options=options, **kwargs)
 
     monkeypatch.setattr(engine_mod, "auto_dse", spy)
     rc = main([
@@ -93,14 +94,16 @@ def test_candidate_timeout_flag_threads_to_the_engine(monkeypatch):
         "--candidate-timeout", "30", "--time-budget", "600",
     ])
     assert rc == 0
-    assert seen["candidate_timeout_s"] == 30.0
-    assert seen["time_budget_s"] == 600.0
+    options = seen["options"]
+    assert isinstance(options, DseOptions)
+    assert options.candidate_timeout_s == 30.0
+    assert options.time_budget_s == 600.0
 
 
 def test_time_budget_degrades_gracefully():
     # A zero wall-clock budget expires before the first ladder step: the
     # sweep must stop at the degree-1 baseline, flagged as degraded.
-    result = polybench.gemm(16).auto_DSE(time_budget_s=0.0)
+    result = polybench.gemm(16).auto_DSE(options=DseOptions(time_budget_s=0.0))
     assert result.stats.time_budget_hit
     assert result.degraded
     assert any(d.code == "DSE004" for d in result.diagnostics)

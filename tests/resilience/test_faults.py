@@ -13,6 +13,7 @@ from repro.workloads import polybench
 from repro.workloads.stencils import seidel
 
 from tests.resilience.test_checkpoint_resume import fingerprint
+from repro.dse.options import DseOptions
 
 pytestmark = pytest.mark.resilience
 
@@ -45,7 +46,7 @@ def test_random_plans_are_reproducible_from_their_seed():
 def test_transient_faults_are_retried_to_the_fault_free_result():
     baseline = polybench.gemm(16).auto_DSE()
     plan = FaultPlan([Fault("transient", 2, count=2)])
-    result = polybench.gemm(16).auto_DSE(fault_plan=plan)
+    result = polybench.gemm(16).auto_DSE(options=DseOptions(fault_plan=plan))
     assert plan.fired == [("transient", 2), ("transient", 2)]
     assert result.stats.estimator_retries == 2
     assert not result.quarantine
@@ -54,7 +55,7 @@ def test_transient_faults_are_retried_to_the_fault_free_result():
 
 def test_permanent_fault_quarantines_without_aborting():
     plan = FaultPlan([Fault("permanent", 3)])
-    result = polybench.gemm(16).auto_DSE(fault_plan=plan)
+    result = polybench.gemm(16).auto_DSE(options=DseOptions(fault_plan=plan))
     assert ("permanent", 3) in plan.fired
     assert result.quarantine
     assert all(q.diagnostic.code == "DSE001" for q in result.quarantine)
@@ -66,9 +67,7 @@ def test_hung_candidate_is_quarantined_as_timeout():
     # Acceptance criterion: a hung candidate is quarantined with a timeout
     # diagnostic instead of aborting the sweep.
     plan = FaultPlan([Fault("hang", 3)])
-    result = polybench.gemm(16).auto_DSE(
-        fault_plan=plan, candidate_timeout_s=30.0
-    )
+    result = polybench.gemm(16).auto_DSE(options=DseOptions(fault_plan=plan, candidate_timeout_s=30.0))
     assert ("hang", 3) in plan.fired
     assert result.stats.timeouts == 1
     assert result.stats.timeout_s > 0
@@ -81,14 +80,14 @@ def test_hung_candidate_is_quarantined_as_timeout():
 def test_hang_without_a_deadline_is_a_harness_error():
     plan = FaultPlan([Fault("hang", 2)])
     with pytest.raises(ValueError, match="no candidate_timeout_s"):
-        polybench.gemm(16).auto_DSE(fault_plan=plan)
+        polybench.gemm(16).auto_DSE(options=DseOptions(fault_plan=plan))
 
 
 def test_crash_fires_as_base_exception(tmp_path):
     journal = tmp_path / "gemm.jsonl"
     plan = FaultPlan([Fault("crash", 2)])
     with pytest.raises(InjectedCrash):
-        polybench.gemm(16).auto_DSE(checkpoint=str(journal), fault_plan=plan)
+        polybench.gemm(16).auto_DSE(options=DseOptions(checkpoint=str(journal), fault_plan=plan))
     assert ("crash", 2) in plan.fired
 
 
@@ -104,14 +103,10 @@ def test_crash_at_every_append_point_resumes_to_the_fault_free_best(tmp_path):
         journal = tmp_path / f"crash_at_{ordinal}.jsonl"
         plan = FaultPlan([Fault("crash", ordinal)])
         try:
-            result = polybench.gemm(16).auto_DSE(
-                checkpoint=str(journal), fault_plan=plan
-            )
+            result = polybench.gemm(16).auto_DSE(options=DseOptions(checkpoint=str(journal), fault_plan=plan))
         except InjectedCrash:
             crash_points += 1
-            result = polybench.gemm(16).auto_DSE(
-                checkpoint=str(journal), resume=True
-            )
+            result = polybench.gemm(16).auto_DSE(options=DseOptions(checkpoint=str(journal), resume=True))
         assert fingerprint(result) == fingerprint(baseline), ordinal
     assert crash_points >= total
 
@@ -129,18 +124,14 @@ def test_seeded_chaos_plus_crash_plus_resume_equals_fault_free(
     journal = tmp_path / f"{workload}_{seed}.jsonl"
     plan = FaultPlan.random(seed=seed, candidates=12, rate=0.5)
     try:
-        build().auto_DSE(
-            checkpoint=str(journal),
-            fault_plan=plan,
-            candidate_timeout_s=30.0,
-        )
+        build().auto_DSE(options=DseOptions(checkpoint=str(journal), fault_plan=plan, candidate_timeout_s=30.0))
     except InjectedCrash:
         pass
     except DiagnosticError:
         # A permanent fault on the degree-1 baseline has no design to
         # degrade to; the journal still holds the quarantine record.
         pass
-    result = build().auto_DSE(checkpoint=str(journal), resume=True)
+    result = build().auto_DSE(options=DseOptions(checkpoint=str(journal), resume=True))
     assert fingerprint(result) == fingerprint(baseline), (workload, seed)
     assert not result.quarantine
 
@@ -149,14 +140,12 @@ def test_corrupt_fault_mangles_the_line_but_not_the_run(tmp_path):
     baseline = polybench.gemm(16).auto_DSE()
     journal = tmp_path / "gemm.jsonl"
     plan = FaultPlan([Fault("corrupt", 1)])
-    first = polybench.gemm(16).auto_DSE(
-        checkpoint=str(journal), fault_plan=plan
-    )
+    first = polybench.gemm(16).auto_DSE(options=DseOptions(checkpoint=str(journal), fault_plan=plan))
     assert ("corrupt", 1) in plan.fired
     # The in-memory sweep is unaffected by the mangled line...
     assert fingerprint(first) == fingerprint(baseline)
     # ...and resume skips it (DSE006) and re-evaluates that candidate.
-    resumed = polybench.gemm(16).auto_DSE(checkpoint=str(journal), resume=True)
+    resumed = polybench.gemm(16).auto_DSE(options=DseOptions(checkpoint=str(journal), resume=True))
     assert fingerprint(resumed) == fingerprint(baseline)
     assert any(d.code == "DSE006" for d in resumed.diagnostics)
     assert resumed.stats.candidates >= 1
@@ -166,7 +155,7 @@ def test_fault_plan_is_uninstalled_after_the_sweep():
     from repro import faults
 
     plan = FaultPlan([Fault("permanent", 3)])
-    polybench.gemm(16).auto_DSE(fault_plan=plan)
+    polybench.gemm(16).auto_DSE(options=DseOptions(fault_plan=plan))
     assert faults.active() is None
 
 

@@ -1,0 +1,121 @@
+"""Exporter tests: Chrome trace_event JSON, text profile, metrics."""
+
+import json
+
+from repro.trace import (
+    Tracer,
+    chrome_trace_events,
+    export_chrome_trace,
+    export_metrics_json,
+    load_chrome_trace,
+    render_metrics,
+    render_text_profile,
+    span_categories,
+)
+
+
+def _sample_tracer():
+    tracer = Tracer()
+    with tracer.span("compile", "pipeline", args={"workload": "gemm"}):
+        with tracer.span("lower", "affine"):
+            pass
+        with tracer.span("lower", "affine"):
+            pass
+        with tracer.span("estimate", "hls"):
+            tracer.count("hls.estimate_calls")
+            tracer.observe("dse.retry_backoff_s", 0.1)
+    return tracer
+
+
+class TestChromeTrace:
+    def test_event_structure(self):
+        events = chrome_trace_events(_sample_tracer())
+        meta = [e for e in events if e["ph"] == "M"]
+        complete = [e for e in events if e["ph"] == "X"]
+        assert meta[0]["name"] == "thread_name"
+        assert meta[0]["args"]["name"] == "main"
+        assert len(complete) == 4
+        root = complete[0]
+        assert root["name"] == "compile"
+        assert root["cat"] == "pipeline"
+        assert root["args"]["workload"] == "gemm"
+        assert "cpu_ms" in root["args"]
+        # microsecond timestamps, declaration order
+        assert all(e["ts"] >= 0 and e["dur"] >= 0 for e in complete)
+        assert [e["name"] for e in complete] == [
+            "compile", "lower", "lower", "estimate",
+        ]
+
+    def test_adopted_tracks_get_metadata_events(self):
+        worker = Tracer()
+        with worker.span("w", "dse"):
+            pass
+        driver = _sample_tracer()
+        driver.adopt_thread(worker.export_data(), 3, "shard bicg")
+        events = chrome_trace_events(driver)
+        names = {
+            e["tid"]: e["args"]["name"] for e in events if e["ph"] == "M"
+        }
+        assert names == {0: "main", 3: "shard bicg"}
+        assert any(e["ph"] == "X" and e["tid"] == 3 for e in events)
+
+    def test_export_is_valid_json(self, tmp_path):
+        path = tmp_path / "out.json"
+        export_chrome_trace(_sample_tracer(), str(path))
+        payload = load_chrome_trace(str(path))
+        assert isinstance(payload["traceEvents"], list)
+        assert payload["displayTimeUnit"] == "ms"
+        metrics = payload["otherData"]["metrics"]
+        assert metrics["counters"]["hls.estimate_calls"] == 1
+        assert metrics["histograms"]["dse.retry_backoff_s"]["count"] == 1
+
+    def test_span_categories_helper(self, tmp_path):
+        path = tmp_path / "out.json"
+        export_chrome_trace(_sample_tracer(), str(path))
+        counts = span_categories(load_chrome_trace(str(path)))
+        assert counts == {"pipeline": 1, "affine": 2, "hls": 1}
+
+
+class TestTextViews:
+    def test_profile_collapses_repeated_spans(self):
+        profile = render_text_profile(_sample_tracer())
+        assert profile.startswith("trace profile")
+        lines = [l for l in profile.splitlines() if "lower [affine]" in l]
+        assert len(lines) == 1       # two calls collapse to one aggregate
+        assert lines[0].split()[2] == "2"  # calls column
+
+    def test_profile_indents_children(self):
+        profile = render_text_profile(_sample_tracer())
+        compile_line = next(
+            l for l in profile.splitlines() if l.startswith("compile")
+        )
+        child_line = next(l for l in profile.splitlines() if "estimate" in l)
+        assert child_line.startswith("  ")
+        assert not compile_line.startswith(" ")
+
+    def test_min_fraction_prunes(self):
+        tracer = Tracer()
+        with tracer.span("big"):
+            pass
+        tracer.spans[0].dur = 1.0
+        with tracer.span("tiny"):
+            pass
+        tracer.spans[1].dur = 1e-6
+        pruned = render_text_profile(tracer, min_fraction=0.01)
+        assert "big" in pruned
+        assert "tiny" not in pruned
+
+    def test_render_metrics(self):
+        text = render_metrics(_sample_tracer())
+        assert "hls.estimate_calls" in text
+        assert "dse.retry_backoff_s" in text
+        assert "n=1" in text
+
+    def test_render_metrics_empty(self):
+        assert "(no metrics recorded)" in render_metrics(Tracer())
+
+    def test_export_metrics_json(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        export_metrics_json(_sample_tracer(), str(path))
+        data = json.loads(path.read_text())
+        assert data["counters"]["hls.estimate_calls"] == 1
