@@ -14,6 +14,8 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence
 
 from repro.dsl.dtypes import DType, float32
 from repro.dsl.placeholder import Placeholder
+from repro.isl import evalc as _evalc
+from repro.isl import intern as _intern
 from repro.isl.affine import AffineExpr
 from repro.isl.constraint import Constraint
 from repro.isl.sets import LoopBound
@@ -230,6 +232,9 @@ class AffineForOp(Op):
         self.lowers = lowers
         self.uppers = uppers
         self.body = body if body is not None else Block()
+        # (lowers, uppers, compiled trip fn); revalidated by list
+        # identity since passes replace the bound lists wholesale.
+        self._trip_state = None
 
     def regions(self):
         return (self.body,)
@@ -257,6 +262,24 @@ class AffineForOp(Op):
         Used by the latency model for triangular (skewed) loops, where a
         conservative constant envelope bounds the variable trip count.
         """
+        # Direct module-flag read: reference_mode() as a call costs as
+        # much as the cache hit itself on this hot path.
+        if not _intern._REFERENCE:
+            # Compiled envelope evaluator, cached on the instance (and
+            # per (lowers, uppers) signature on the intern context).
+            # For constant bounds the envelope formula equals
+            # constant_trip_count exactly, so one compiled formula
+            # covers both cases below.
+            state = self._trip_state
+            if (
+                state is not None
+                and state[0] is self.lowers
+                and state[1] is self.uppers
+            ):
+                return state[2](outer_extents)
+            fn = _evalc.compile_trip(tuple(self.lowers), tuple(self.uppers))
+            self._trip_state = (self.lowers, self.uppers, fn)
+            return fn(outer_extents)
         constant = self.constant_trip_count()
         if constant is not None:
             return constant

@@ -200,6 +200,25 @@ def cmd_compile(args) -> int:
     return 0
 
 
+def _warn_single_cpu(jobs) -> None:
+    """Warn when parallel speedup numbers came from a single-CPU run.
+
+    Shards can't overlap on one core, so any measured "speedup" from a
+    multi-job run is noise; BENCH_parallel.json records the same
+    condition as ``"asserted": false``.
+    """
+    from repro.util.pool import available_jobs
+
+    cpus = available_jobs()
+    if jobs is not None and jobs > 1 and cpus < 2:
+        print(
+            f"warning: parallel speedup data came from a single-CPU run "
+            f"({jobs} jobs sharing {cpus} CPU); wall-clock comparisons "
+            "against the sequential sweep are not meaningful",
+            file=sys.stderr,
+        )
+
+
 def _resume_hint(args, checkpoint: str) -> str:
     hint = f"python -m repro dse {args.workload}"
     if args.size is not None:
@@ -255,6 +274,7 @@ def _cmd_dse_all(args) -> int:
         print()
         print("merged (totals are the sum of the shards above):")
         print(_indent(sweep.stats.summary()))
+        _warn_single_cpu(args.jobs)
     if not sweep.ok:
         return 2
     degraded = any(shard.result.degraded for shard in sweep.shards)
@@ -340,6 +360,7 @@ def cmd_dse(args) -> int:
     if args.stats:
         print()
         print(result.stats.summary())
+        _warn_single_cpu(args.jobs)
     if result.stats.interrupted:
         print("sweep interrupted; stopped at best design found", file=sys.stderr)
         if checkpoint:

@@ -34,10 +34,14 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro import faults as _faults
 from repro import trace as _trace
 from repro.depgraph.analysis import carried_dependences_generic
 from repro.dsl.dtypes import DType, float32
+from repro.isl import intern as _intern
+from repro.isl import matrix as _matrix
 from repro.isl.affine import AffineExpr
 from repro.isl.sets import BasicSet
 from repro.affine.ir import (
@@ -462,6 +466,12 @@ class HlsEstimator:
             return math.ceil(total / banks)
 
         ranges = [range(max(1, trips.get(d, 1))) for d in unrolled_dims]
+        if unrolled_dims and index_lists and not _intern.reference_mode():
+            fast = _bank_pressure_vectorized(
+                array, index_lists, unrolled_dims, ranges, scheme
+            )
+            if fast is not None:
+                return fast
         elements = set()
         for combo in itertools.product(*ranges):
             env = dict(zip(unrolled_dims, combo))
@@ -577,6 +587,58 @@ def _concrete_index(index: AffineExpr, env: Dict[str, int]) -> int:
     for name, coeff in index.coeffs.items():
         value += coeff * env.get(name, 0)
     return value
+
+
+def _bank_pressure_vectorized(array, index_lists, unrolled_dims, ranges, scheme):
+    """Numpy bank-pressure enumeration, or None to fall back.
+
+    Counts the same distinct (element, bank) sets as the scalar loop in
+    ``_bank_pressure_uncached`` -- numpy's ``%`` and ``//`` agree with
+    Python's for negative operands, so bank ids match exactly.
+    """
+    grid = _matrix.candidate_grid(ranges)
+    if grid is None:
+        return None
+    # Exact Python-int bound on any index value; reject if the int64
+    # matrix arithmetic could overflow.
+    peak = 0
+    for indices in index_lists:
+        for expr in indices:
+            bound = abs(expr.constant)
+            for name, coeff in expr.coeffs.items():
+                if name in unrolled_dims:
+                    extent = ranges[unrolled_dims.index(name)].stop
+                    bound += abs(coeff) * max(0, extent - 1)
+            peak = max(peak, bound)
+    if peak >= 1 << 62:
+        return None
+    blocks = []
+    for indices in index_lists:
+        columns = []
+        for expr in indices:
+            coeffs = np.array(
+                [expr.coeff(d) for d in unrolled_dims], dtype=np.int64
+            )
+            columns.append(grid @ coeffs + expr.constant)
+        blocks.append(np.stack(columns, axis=1))
+    elements = np.unique(np.concatenate(blocks, axis=0), axis=0)
+    if scheme is None:
+        return int(elements.shape[0])
+    banks = np.zeros_like(elements)
+    for col, (factor, extent) in enumerate(zip(scheme.factors, array.shape)):
+        values = elements[:, col]
+        if factor <= 1:
+            continue
+        if scheme.kind == "cyclic":
+            banks[:, col] = values % factor
+        elif scheme.kind == "block":
+            banks[:, col] = np.minimum(
+                factor - 1, values // math.ceil(extent / factor)
+            )
+        else:  # complete
+            banks[:, col] = values
+    _, counts = np.unique(banks, axis=0, return_counts=True)
+    return int(counts.max()) if counts.size else 0
 
 
 def _bank_id(array, element: tuple, scheme) -> tuple:

@@ -4,12 +4,21 @@ An :class:`AffineExpr` is a linear combination of named dimensions plus a
 constant, with integer coefficients.  It is the atom from which
 constraints, sets, maps, and schedules are built.  Expressions are
 immutable; all operators return new objects.
+
+Expressions are *hash-consed*: construction interns into the active
+:class:`~repro.isl.intern.InternContext`, so structurally equal
+expressions built in one context are one object and ``__eq__`` is an
+identity test on the hot path.  Identity is an optimization, never a
+semantic: structural equality remains the contract (objects from
+different contexts, a cleared table, or unpickling compare by value).
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, Mapping, Tuple, Union
+from typing import Dict, Iterable, Mapping, Optional, Tuple, Union
+
+from repro.isl import intern as _intern
 
 Number = int
 ExprLike = Union["AffineExpr", int, str]
@@ -19,12 +28,13 @@ class AffineExpr:
     """A linear form ``sum(coeff_d * d) + const`` with integer coefficients.
 
     Dimensions are identified by name.  Zero coefficients are never
-    stored, so two equal expressions always compare and hash equal.
+    stored, so two equal expressions always compare and hash equal --
+    and, within one intern context, *are* the same object.
     """
 
-    __slots__ = ("_coeffs", "_const", "_hash")
+    __slots__ = ("_coeffs", "_const", "_hash", "_items")
 
-    def __init__(self, coeffs: Mapping[str, int] | None = None, const: int = 0):
+    def __new__(cls, coeffs: Optional[Mapping[str, int]] = None, const: int = 0):
         clean: Dict[str, int] = {}
         if coeffs:
             for name, coeff in coeffs.items():
@@ -34,9 +44,32 @@ class AffineExpr:
                     clean[name] = coeff
         if not isinstance(const, int):
             raise TypeError(f"constant must be int, got {type(const).__name__}")
-        self._coeffs = clean
-        self._const = const
-        self._hash = hash((tuple(sorted(clean.items())), const))
+        context = _intern.active()
+        table = context.exprs
+        # Sorting is a no-op below two terms, and most exprs are tiny.
+        if len(clean) < 2:
+            items = tuple(clean.items())
+        else:
+            items = tuple(sorted(clean.items()))
+        key = (items, const)
+        self = table.get(key)
+        if self is None:
+            self = object.__new__(cls)
+            self._coeffs = clean
+            self._const = const
+            self._hash = hash(key)
+            # The name-sorted (name, coeff) pairs, cached for key reuse
+            # (constraint pruning, matrix packing) without re-sorting.
+            self._items = items
+            if len(table) >= context.cap:
+                table.clear()
+            table[key] = self
+        return self
+
+    def __reduce__(self):
+        # Interned objects must re-intern on unpickle/copy: round-trip
+        # through the constructor instead of raw slot restoration.
+        return (AffineExpr, (self._coeffs, self._const))
 
     # -- constructors -------------------------------------------------
 
@@ -151,13 +184,17 @@ class AffineExpr:
 
     def substitute(self, bindings: Mapping[str, ExprLike]) -> "AffineExpr":
         """Replace dimensions with expressions; unbound dims are kept."""
-        result = AffineExpr.const(self._const)
+        coeffs: Dict[str, int] = {}
+        const = self._const
         for name, coeff in self._coeffs.items():
             if name in bindings:
-                result = result + AffineExpr.coerce(bindings[name]) * coeff
+                repl = AffineExpr.coerce(bindings[name])
+                const += coeff * repl._const
+                for other, factor in repl._coeffs.items():
+                    coeffs[other] = coeffs.get(other, 0) + coeff * factor
             else:
-                result = result + AffineExpr({name: coeff})
-        return result
+                coeffs[name] = coeffs.get(name, 0) + coeff
+        return AffineExpr(coeffs, const)
 
     def rename(self, mapping: Mapping[str, str]) -> "AffineExpr":
         """Rename dimensions (missing names are kept)."""
@@ -177,6 +214,8 @@ class AffineExpr:
     # -- comparisons / protocol ---------------------------------------
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, AffineExpr):
             return NotImplemented
         return self._coeffs == other._coeffs and self._const == other._const
@@ -210,6 +249,31 @@ class AffineExpr:
             else:
                 parts.append(str(self._const))
         return " ".join(parts)
+
+
+def _intern_sorted_items(items: Tuple[Tuple[str, int], ...], const: int) -> AffineExpr:
+    """Fast intern path for pre-cleaned coefficients.
+
+    ``items`` must be name-sorted with no zero coefficients -- exactly
+    the structural key ``__new__`` would build.  Used by the vectorized
+    kernels in :mod:`repro.isl.matrix`, where rows come out of the
+    matrix already sorted and materializing through the public
+    constructor would rebuild dict + sorted key per row.
+    """
+    context = _intern.active()
+    table = context.exprs
+    key = (items, const)
+    self = table.get(key)
+    if self is None:
+        self = object.__new__(AffineExpr)
+        self._coeffs = dict(items)
+        self._const = const
+        self._hash = hash(key)
+        self._items = items
+        if len(table) >= context.cap:
+            table.clear()
+        table[key] = self
+    return self
 
 
 def sum_exprs(exprs: Iterable[ExprLike]) -> AffineExpr:

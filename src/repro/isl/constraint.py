@@ -11,6 +11,7 @@ from __future__ import annotations
 import math
 from typing import Mapping
 
+from repro.isl import intern as _intern
 from repro.isl.affine import AffineExpr, ExprLike
 
 EQ = "=="
@@ -18,15 +19,38 @@ GE = ">="
 
 
 class Constraint:
-    """A normalized affine constraint ``expr == 0`` or ``expr >= 0``."""
+    """A normalized affine constraint ``expr == 0`` or ``expr >= 0``.
 
-    __slots__ = ("expr", "kind")
+    Constraints are hash-consed like :class:`AffineExpr`: construction
+    interns the (normalized expr, kind) pair into the active
+    :class:`~repro.isl.intern.InternContext`, making ``__eq__`` an
+    identity test on the hot path and memo-table keys effectively O(1).
+    Structural equality remains the semantic contract.
+    """
 
-    def __init__(self, expr: AffineExpr, kind: str):
+    __slots__ = ("expr", "kind", "_hash")
+
+    def __new__(cls, expr: AffineExpr, kind: str):
         if kind not in (EQ, GE):
             raise ValueError(f"kind must be '==' or '>=', got {kind!r}")
-        self.expr = _normalize(expr, kind)
-        self.kind = kind
+        expr = _normalize(expr, kind)
+        context = _intern.active()
+        table = context.constraints
+        key = (kind, expr)
+        self = table.get(key)
+        if self is None:
+            self = object.__new__(cls)
+            self.expr = expr
+            self.kind = kind
+            self._hash = hash(key)
+            if len(table) >= context.cap:
+                table.clear()
+            table[key] = self
+        return self
+
+    def __reduce__(self):
+        # Re-intern on unpickle/copy (normalization is idempotent).
+        return (Constraint, (self.expr, self.kind))
 
     # -- constructors -------------------------------------------------
 
@@ -99,18 +123,88 @@ class Constraint:
     # -- protocol -------------------------------------------------------
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, Constraint):
             return NotImplemented
         return self.kind == other.kind and self.expr == other.expr
 
     def __hash__(self) -> int:
-        return hash((self.kind, self.expr))
+        return self._hash
 
     def __repr__(self) -> str:
         return f"Constraint({self})"
 
     def __str__(self) -> str:
         return f"{self.expr} {self.kind} 0"
+
+
+def _intern_normalized(expr: AffineExpr, kind: str) -> Constraint:
+    """Fast intern path for an expression already in normalized form.
+
+    The caller guarantees ``_normalize(expr, kind) is expr`` -- true for
+    rows out of :func:`repro.isl.matrix._normalize_ge_rows`, which
+    applies the same gcd division and integer tightening vectorized.
+    """
+    context = _intern.active()
+    table = context.constraints
+    key = (kind, expr)
+    self = table.get(key)
+    if self is None:
+        self = object.__new__(Constraint)
+        self.expr = expr
+        self.kind = kind
+        self._hash = hash(key)
+        if len(table) >= context.cap:
+            table.clear()
+        table[key] = self
+    return self
+
+
+def prune_parallel(constraints):
+    """Collapse constraints that are scalar multiples of each other.
+
+    Normalization already divides every constraint by its coefficient
+    gcd, so the scalar multiples that survive are (a) *parallel
+    inequalities* -- identical coefficient vectors with different
+    constants, where the conjunction equals the tightest one alone --
+    and (b) *negated equalities* (``e == 0`` vs ``-e == 0``), which are
+    the same hyperplane.  Without this pruning, repeated ``intersect`` +
+    ``project_onto`` chains accumulate parallel constraints without
+    bound (each Fourier-Motzkin step combines them pairwise).
+
+    Deterministic: the first occurrence of a coefficient vector keeps
+    its list position; a later, tighter parallel inequality replaces it
+    in place.  Constant constraints (tautologies were already dropped;
+    contradictions must survive for emptiness detection) and equalities
+    with distinct hyperplanes are kept untouched.
+    """
+    ge_slots = {}
+    eq_seen = set()
+    kept = []
+    for constraint in constraints:
+        expr = constraint.expr
+        items = expr._items  # interning pre-sorted these
+        if not items:
+            kept.append(constraint)
+            continue
+        if constraint.kind == GE:
+            at = ge_slots.get(items)
+            if at is None:
+                ge_slots[items] = len(kept)
+                kept.append(constraint)
+            elif expr._const < kept[at].expr._const:
+                kept[at] = constraint
+        else:
+            # Sign-canonical key so e == 0 and -e == 0 collide.
+            if items[0][1] < 0:
+                key = (tuple((n, -c) for n, c in items), -expr._const)
+            else:
+                key = (items, expr._const)
+            if key not in eq_seen:
+                eq_seen.add(key)
+                kept.append(constraint)
+    return kept
 
 
 def _normalize(expr: AffineExpr, kind: str) -> AffineExpr:
@@ -126,7 +220,9 @@ def _normalize(expr: AffineExpr, kind: str) -> AffineExpr:
         return expr
     const = expr.constant
     if kind == GE:
-        new_const = math.floor(const / g)
+        # Integer floor division: exact for arbitrarily large constants,
+        # where float-mediated math.floor(const / g) could round wrong.
+        new_const = const // g
     else:
         if const % g != 0:
             # Keep as-is: the GCD test in is_contradiction will flag it.

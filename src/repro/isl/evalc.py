@@ -1,0 +1,157 @@
+"""Compiled evaluators for loop bounds and trip-count envelopes.
+
+``LoopBound.evaluate`` and ``AffineForOp.max_trip_count`` are called
+once per candidate point / schedule inside the DSE inner loop, and both
+spend their time walking coefficient dicts and re-deciding ceil-vs-floor
+division on every call.  Because the underlying :class:`AffineExpr`
+atoms are hash-consed (see :mod:`repro.isl.intern`), each distinct bound
+is one object per process -- so we can afford to *compile* its
+evaluator once: generate straight-line Python source with the
+coefficients baked in as literals, ``exec`` it with empty builtins, and
+cache the resulting function on the active
+:class:`~repro.isl.intern.InternContext` keyed by the interned atoms.
+
+The compiled functions are exact integer arithmetic -- the same
+expressions the interpreted path computes, just without the dict walk --
+so results are bit-identical by construction; the differential suite
+pins this against ``REPRO_ISL_REFERENCE=1``.
+
+Compiled functions never leave the process: interned classes'
+``__reduce__`` rebuilds them through their constructors, and the caches
+live on the context (a replaced or cleared context drops its code).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Optional, Tuple
+
+from repro.isl import intern as _intern
+from repro.isl.affine import AffineExpr
+
+#: exec namespace: no builtins beyond the exact names the generated
+#: source uses, so the compiled code can't touch anything else.
+_GLOBALS = {"__builtins__": {}, "KeyError": KeyError, "min": min, "max": max}
+
+
+def _div_src(value_src: str, divisor: int, is_lower: bool) -> str:
+    """Source for exact ceil (lower) / floor (upper) division."""
+    if divisor == 1:
+        return value_src
+    if is_lower:
+        return f"-((-({value_src})) // {divisor})"
+    return f"({value_src}) // {divisor}"
+
+
+def _sum_src(expr: AffineExpr, subscript: str) -> str:
+    """Source evaluating ``expr`` with dims read as ``values[<name>]``."""
+    parts = [str(expr._const)]
+    for name, coeff in sorted(expr._coeffs.items()):
+        parts.append(f"{coeff} * {subscript}[{name!r}]")
+    return " + ".join(parts)
+
+
+def compile_bound(
+    expr: AffineExpr, divisor: int, is_lower: bool
+) -> Callable[[Mapping[str, int]], int]:
+    """A compiled equivalent of ``LoopBound(expr, divisor, is_lower).evaluate``.
+
+    Cached per intern context: the key hashes by interned-atom identity,
+    so repeat compilations of the same bound are one dict lookup.
+    """
+    context = _intern.active()
+    key = (expr, divisor, is_lower)
+    fn = context.bound_fns.get(key)
+    if fn is not None:
+        return fn
+    body = _sum_src(expr, "values")
+    source = (
+        "def bound(values):\n"
+        "    try:\n"
+        f"        value = {body}\n"
+        "    except KeyError as exc:\n"
+        "        raise KeyError('dimension %r is unbound' % (exc.args[0],)) from None\n"
+        f"    return {_div_src('value', divisor, is_lower)}\n"
+    )
+    namespace: Dict[str, object] = {}
+    exec(compile(source, "<repro.isl.evalc bound>", "exec"), dict(_GLOBALS), namespace)
+    fn = namespace["bound"]
+    if len(context.bound_fns) >= context.cap:
+        context.bound_fns.clear()
+    context.bound_fns[key] = fn
+    return fn
+
+
+def _extreme_src(bound, smallest: bool) -> Tuple[str, Optional[int]]:
+    """``(source, folded)`` for the min/max of a bound over [0, extent) boxes.
+
+    Mirrors ``repro.affine.ir._extreme``: each dim contributes either 0
+    or ``coeff * max(0, extent - 1)``, whichever is smaller (lower
+    envelope) or larger (upper envelope); missing extents default to 1,
+    zeroing the term.  Since ``max(0, extent - 1)`` is non-negative, the
+    min/max against 0 folds at compile time by the coefficient's sign:
+    the term IS 0 when its sign disagrees with the envelope direction,
+    and is the raw product otherwise.  ``folded`` carries the exact int
+    when the whole bound folds to a constant (source is then its repr).
+    """
+    const = bound.expr._const
+    parts = []
+    for name, coeff in sorted(bound.expr._coeffs.items()):
+        keep = coeff < 0 if smallest else coeff > 0
+        if keep:
+            parts.append(f"{coeff} * max(0, _g({name!r}, 1) - 1)")
+    if not parts:
+        if bound.is_lower:
+            value = -((-const) // bound.divisor)
+        else:
+            value = const // bound.divisor
+        return str(value), value
+    parts.insert(0, str(const))
+    return _div_src(" + ".join(parts), bound.divisor, bound.is_lower), None
+
+
+def _envelope_src(bounds: Tuple, smallest: bool) -> str:
+    """Fold max-of-lowers / min-of-uppers across constant bounds."""
+    pick = max if smallest else min  # lowers combine by max, uppers by min
+    sources = []
+    folded = []
+    for bound in bounds:
+        src, value = _extreme_src(bound, smallest)
+        if value is None:
+            sources.append(src)
+        else:
+            folded.append(value)
+    if folded:
+        sources.append(str(pick(folded)))
+    if len(sources) == 1:
+        return sources[0]
+    return "%s(%s)" % ("max" if smallest else "min", ", ".join(sources))
+
+
+def compile_trip(lowers: Tuple, uppers: Tuple) -> Callable[[Dict[str, int]], int]:
+    """A compiled equivalent of ``AffineForOp.max_trip_count``.
+
+    One function per (lowers, uppers) signature covers both the
+    constant-bounds case and the envelope case: for constant bounds the
+    per-bound envelope *is* ``evaluate({})``, so the single formula
+    ``max(0, min(uppers) - max(lowers) + 1)`` reproduces
+    ``constant_trip_count`` exactly.
+    """
+    context = _intern.active()
+    key = (lowers, uppers)
+    fn = context.trip_fns.get(key)
+    if fn is not None:
+        return fn
+    source = (
+        "def trip(extents):\n"
+        "    _g = extents.get\n"
+        f"    lo = {_envelope_src(lowers, smallest=True)}\n"
+        f"    hi = {_envelope_src(uppers, smallest=False)}\n"
+        "    return max(0, hi - lo + 1)\n"
+    )
+    namespace: Dict[str, object] = {}
+    exec(compile(source, "<repro.isl.evalc trip>", "exec"), dict(_GLOBALS), namespace)
+    fn = namespace["trip"]
+    if len(context.trip_fns) >= context.cap:
+        context.trip_fns.clear()
+    context.trip_fns[key] = fn
+    return fn

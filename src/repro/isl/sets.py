@@ -17,10 +17,18 @@ from fractions import Fraction
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro import trace as _trace
+from repro.isl import evalc as _evalc
+from repro.isl import intern as _intern
+from repro.isl import matrix as _matrix
 from repro.isl import memo as _memo
 from repro.isl.affine import AffineExpr, ExprLike
-from repro.isl.constraint import EQ, GE, Constraint
+from repro.isl.constraint import EQ, GE, Constraint, prune_parallel
 from repro.util import deadline as _deadline
+
+#: Below this many constraints the pure-Python Fourier-Motzkin step is
+#: faster than paying numpy's per-call overhead; both paths are
+#: bit-identical, so the dispatch threshold only affects speed.
+VECTORIZE_MIN_CONSTRAINTS = 18
 
 
 class LoopBound:
@@ -30,7 +38,7 @@ class LoopBound:
     ``divisor`` is 1 for plain affine bounds.
     """
 
-    __slots__ = ("expr", "divisor", "is_lower")
+    __slots__ = ("expr", "divisor", "is_lower", "_fn")
 
     def __init__(self, expr: AffineExpr, divisor: int, is_lower: bool):
         if divisor <= 0:
@@ -45,12 +53,24 @@ class LoopBound:
         self.expr = expr
         self.divisor = divisor
         self.is_lower = is_lower
+        self._fn = None
+
+    def __reduce__(self):
+        # The compiled evaluator in _fn is process-local (exec'd code);
+        # rebuild through the constructor, which is idempotent on the
+        # already-normalized (expr, divisor) pair.
+        return (LoopBound, (self.expr, self.divisor, self.is_lower))
 
     def evaluate(self, values: Mapping[str, int]) -> int:
-        value = self.expr.evaluate(values)
-        if self.is_lower:
-            return -((-value) // self.divisor)  # ceil division
-        return value // self.divisor
+        if _intern._REFERENCE:  # direct flag read; this is a hot path
+            value = self.expr.evaluate(values)
+            if self.is_lower:
+                return -((-value) // self.divisor)  # ceil division
+            return value // self.divisor
+        fn = self._fn
+        if fn is None:
+            fn = self._fn = _evalc.compile_bound(self.expr, self.divisor, self.is_lower)
+        return fn(values)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, LoopBound):
@@ -81,11 +101,12 @@ class BasicSet:
             raise ValueError(f"duplicate dimension names in {dims!r}")
         self._hash: Optional[int] = None
         self.dims: Tuple[str, ...] = tuple(dims)
+        dim_set = set(self.dims)
         seen = set()
         kept: List[Constraint] = []
         for constraint in constraints:
-            for name in constraint.dims():
-                if name not in self.dims:
+            for name in constraint.expr._coeffs:
+                if name not in dim_set:
                     raise ValueError(
                         f"constraint {constraint} uses unknown dimension {name!r}"
                     )
@@ -93,7 +114,7 @@ class BasicSet:
                 continue
             seen.add(constraint)
             kept.append(constraint)
-        self.constraints: Tuple[Constraint, ...] = tuple(kept)
+        self.constraints: Tuple[Constraint, ...] = tuple(prune_parallel(kept))
 
     # -- constructors ---------------------------------------------------
 
@@ -243,10 +264,12 @@ class BasicSet:
         lowers: List[LoopBound] = []
         uppers: List[LoopBound] = []
         for constraint in projected.constraints:
-            a = constraint.expr.coeff(name)
+            a = constraint.expr._coeffs.get(name, 0)
             if a == 0:
                 continue
-            rest = constraint.expr - AffineExpr({name: a})
+            rest_coeffs = dict(constraint.expr._coeffs)
+            del rest_coeffs[name]
+            rest = AffineExpr(rest_coeffs, constraint.expr._const)
             kinds = [constraint.kind]
             if constraint.kind == EQ:
                 kinds = [GE, "le"]
@@ -281,12 +304,8 @@ class BasicSet:
                 hi = value if hi is None else min(hi, value)
         return lo, hi
 
-    def points(self, limit: int = 1_000_000) -> Iterator[Dict[str, int]]:
-        """Enumerate all integer points (small sets only; test ground truth).
-
-        Raises :class:`ValueError` if any dimension lacks constant bounds
-        or the bounding box exceeds ``limit`` points.
-        """
+    def _box_ranges(self, limit: int) -> List[range]:
+        """Per-dim candidate ranges of the bounding box, or ValueError."""
         ranges = []
         total = 1
         for name in self.dims:
@@ -298,13 +317,51 @@ class BasicSet:
             if total > limit:
                 raise ValueError(f"set too large to enumerate (> {limit} candidates)")
             ranges.append(range(lo, hi + 1))
+        return ranges
+
+    def _candidate_mask(self, ranges: List[range]):
+        """``(candidates, mask)`` numpy pair for the box, or None to
+        fall back to the scalar loop (reference mode, 0-dim sets, or
+        values outside the int64-safe window)."""
+        if not self.dims or _intern.reference_mode():
+            return None
+        candidates = _matrix.candidate_grid(ranges)
+        if candidates is None:
+            return None
+        mask = _matrix.contains_batch(candidates, self.dims, self.constraints)
+        if mask is None:
+            return None
+        return candidates, mask
+
+    def points(self, limit: int = 1_000_000) -> Iterator[Dict[str, int]]:
+        """Enumerate all integer points (small sets only; test ground truth).
+
+        Raises :class:`ValueError` if any dimension lacks constant bounds
+        or the bounding box exceeds ``limit`` points.  The vectorized and
+        scalar paths yield identical points in identical (C) order.
+        """
+        ranges = self._box_ranges(limit)
+        fast = self._candidate_mask(ranges)
+        if fast is not None:
+            candidates, mask = fast
+            for row in candidates[mask].tolist():
+                yield dict(zip(self.dims, row))
+            return
         for combo in itertools.product(*ranges):
             point = dict(zip(self.dims, combo))
             if self.contains(point):
                 yield point
 
     def count_points(self, limit: int = 1_000_000) -> int:
-        return sum(1 for _ in self.points(limit))
+        ranges = self._box_ranges(limit)
+        fast = self._candidate_mask(ranges)
+        if fast is not None:
+            return int(fast[1].sum())
+        return sum(
+            1
+            for combo in itertools.product(*ranges)
+            if self.contains(dict(zip(self.dims, combo)))
+        )
 
     def sample(self) -> Optional[Dict[str, int]]:
         """Find one integer point, or None when empty.
@@ -345,9 +402,13 @@ def _dedupe(bounds: List[LoopBound]) -> List[LoopBound]:
 def _eliminate(constraints: List[Constraint], name: str) -> List[Constraint]:
     """One Fourier-Motzkin elimination step for dimension ``name``.
 
-    Equalities involving ``name`` are used as substitutions when the
-    coefficient divides everything (keeping arithmetic exact); otherwise
-    they are decomposed into two inequalities.
+    Dispatches between the numpy constraint-matrix kernel
+    (:func:`repro.isl.matrix.eliminate`) and the pure-Python reference
+    below.  Both are bit-identical -- same constraints, same order -- so
+    the dispatch is purely a speed decision: small systems stay in
+    Python (numpy's per-call overhead dominates), large ones vectorize,
+    and ``REPRO_ISL_REFERENCE=1`` forces the reference path for
+    differential testing.
     """
     # Watchdog checkpoint: Fourier-Motzkin is quadratic per step and the
     # constraint system can blow up on skewed nests; this is where a
@@ -356,15 +417,50 @@ def _eliminate(constraints: List[Constraint], name: str) -> List[Constraint]:
     # when off, cheap enough for this hot loop).
     _deadline.checkpoint()
     _trace.count("isl.fm_eliminations")
+    if (
+        len(constraints) >= VECTORIZE_MIN_CONSTRAINTS
+        and not _intern.reference_mode()
+        # A unit-coefficient equality triggers the substitution fast
+        # path, which is pure Gaussian elimination -- cheaper in plain
+        # Python than packing the system into a matrix.
+        and not _has_unit_pivot(constraints, name)
+    ):
+        result = _matrix.eliminate(constraints, name)
+        if result is not None:
+            _trace.count("isl.fm_vectorized")
+            return result
+    return _eliminate_reference(constraints, name)
+
+
+def _has_unit_pivot(constraints: List[Constraint], name: str) -> bool:
+    for constraint in constraints:
+        if constraint.kind == EQ and constraint.expr._coeffs.get(name, 0) in (1, -1):
+            return True
+    return False
+
+
+def _eliminate_reference(constraints: List[Constraint], name: str) -> List[Constraint]:
+    """The pure-Python Fourier-Motzkin step (the differential oracle).
+
+    Equalities involving ``name`` are used as substitutions when the
+    coefficient divides everything (keeping arithmetic exact); otherwise
+    they are decomposed into two inequalities.
+    """
     # Prefer substitution through an equality with unit coefficient.
     for constraint in constraints:
         if constraint.kind != EQ:
             continue
-        a = constraint.expr.coeff(name)
-        if abs(a) == 1:
+        a = constraint.expr._coeffs.get(name, 0)
+        if a == 1 or a == -1:
             # a*name + rest == 0  ->  name == -rest/a
-            rest = constraint.expr - AffineExpr({name: a})
-            replacement = rest * (-1) if a == 1 else rest
+            coeffs = dict(constraint.expr._coeffs)
+            del coeffs[name]
+            if a == 1:
+                replacement = AffineExpr(
+                    {n: -c for n, c in coeffs.items()}, -constraint.expr._const
+                )
+            else:
+                replacement = AffineExpr(coeffs, constraint.expr._const)
             out = []
             for other in constraints:
                 if other is constraint:
@@ -376,11 +472,15 @@ def _eliminate(constraints: List[Constraint], name: str) -> List[Constraint]:
     negatives: List[Tuple[int, AffineExpr]] = []  # a < 0
     others: List[Constraint] = []
     for constraint in constraints:
-        a = constraint.expr.coeff(name)
-        rest = constraint.expr - AffineExpr({name: a})
+        expr = constraint.expr
+        a = expr._coeffs.get(name, 0)
         if a == 0:
             others.append(constraint)
-        elif constraint.kind == EQ:
+            continue
+        coeffs = dict(expr._coeffs)
+        del coeffs[name]
+        rest = AffineExpr(coeffs, expr._const)
+        if constraint.kind == EQ:
             # an equality is both a lower and an upper bound on `name`
             if a > 0:
                 positives.append((a, rest))
@@ -396,19 +496,25 @@ def _eliminate(constraints: List[Constraint], name: str) -> List[Constraint]:
     for (ap, rp) in positives:
         for (an, rn) in negatives:
             # ap*name + rp >= 0 and an*name + rn >= 0 with ap>0, an<0
-            # combine: (-an)*rp + ap*rn >= 0
-            combined = rp * (-an) + rn * ap
+            # combine: (-an)*rp + ap*rn >= 0 -- built directly from the
+            # coefficient dicts to avoid two intermediate exprs.
+            coeffs = {n: c * -an for n, c in rp._coeffs.items()}
+            for n, c in rn._coeffs.items():
+                coeffs[n] = coeffs.get(n, 0) + c * ap
+            combined = AffineExpr(coeffs, rp._const * -an + rn._const * ap)
             constraint = Constraint(combined, GE)
             if not constraint.is_tautology():
                 others.append(constraint)
-    # Dedupe while preserving order.
+    # Dedupe while preserving order, then collapse parallel constraints
+    # (scalar multiples) so repeated intersect/project chains stay
+    # bounded -- see :func:`repro.isl.constraint.prune_parallel`.
     seen = set()
     result = []
     for constraint in others:
         if constraint not in seen:
             seen.add(constraint)
             result.append(constraint)
-    return result
+    return prune_parallel(result)
 
 
 def _sample(bset: BasicSet, fixed: Dict[str, int]) -> Optional[Dict[str, int]]:

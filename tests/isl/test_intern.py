@@ -1,0 +1,141 @@
+"""Hash-consing contract for the affine IR atoms.
+
+Identity is an optimization, never a semantic: within one context,
+structurally equal atoms are one object; across contexts (or after a
+table clear, or through pickle) equality falls back to structure.
+"""
+
+import pickle
+
+import pytest
+
+from repro.isl import intern as _intern
+from repro.isl.affine import AffineExpr
+from repro.isl.constraint import EQ, GE, Constraint
+
+
+@pytest.fixture
+def fresh_context():
+    """Run the test under a private InternContext, then restore."""
+    context = _intern.InternContext()
+    previous = _intern.activate(context)
+    yield context
+    _intern.activate(previous)
+
+
+class TestExprInterning:
+    def test_equal_exprs_are_one_object(self, fresh_context):
+        a = AffineExpr({"i": 2, "j": -1}, 3)
+        b = AffineExpr({"j": -1, "i": 2}, 3)
+        assert a is b
+
+    def test_zero_coefficients_normalize_to_same_object(self, fresh_context):
+        assert AffineExpr({"i": 1, "j": 0}, 0) is AffineExpr({"i": 1}, 0)
+
+    def test_arithmetic_reinterns(self, fresh_context):
+        i, j = AffineExpr.var("i"), AffineExpr.var("j")
+        assert (i + j) is (j + i)
+        assert (i - i) is AffineExpr.const(0)
+
+    def test_distinct_values_distinct_objects(self, fresh_context):
+        assert AffineExpr({"i": 1}, 0) is not AffineExpr({"i": 1}, 1)
+
+    def test_items_slot_is_sorted(self, fresh_context):
+        expr = AffineExpr({"j": 2, "i": 1}, 5)
+        assert expr._items == (("i", 1), ("j", 2))
+
+
+class TestConstraintInterning:
+    def test_equal_constraints_are_one_object(self, fresh_context):
+        a = Constraint(AffineExpr({"i": 1}, -1), GE)
+        b = Constraint(AffineExpr({"i": 1}, -1), GE)
+        assert a is b
+
+    def test_kind_distinguishes(self, fresh_context):
+        expr = AffineExpr({"i": 1}, -1)
+        assert Constraint(expr, GE) is not Constraint(expr, EQ)
+
+    def test_normalization_before_interning(self, fresh_context):
+        # 2i >= 4 normalizes to i >= 2: same interned object.
+        assert Constraint.ge(AffineExpr({"i": 2}), 4) is Constraint.ge(
+            AffineExpr({"i": 1}), 2
+        )
+
+
+class TestContextIsolation:
+    def test_separate_contexts_compare_structurally(self):
+        first = _intern.InternContext()
+        second = _intern.InternContext()
+        previous = _intern.activate(first)
+        try:
+            a = AffineExpr({"i": 1}, 7)
+            _intern.activate(second)
+            b = AffineExpr({"i": 1}, 7)
+        finally:
+            _intern.activate(previous)
+        assert a is not b
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_activate_returns_previous(self):
+        context = _intern.InternContext()
+        previous = _intern.activate(context)
+        try:
+            assert _intern.active() is context
+        finally:
+            assert _intern.activate(previous) is context
+
+    def test_stats_track_table_sizes(self, fresh_context):
+        base = _intern.stats()["exprs"]
+        AffineExpr({"i": 1}, 41)
+        AffineExpr({"i": 1}, 42)
+        assert _intern.stats()["exprs"] == base + 2
+
+    def test_cap_clears_wholesale_but_objects_stay_valid(self):
+        context = _intern.InternContext(cap=4)
+        previous = _intern.activate(context)
+        try:
+            survivors = [AffineExpr({"i": 1}, n) for n in range(10)]
+            # The table cleared along the way; live objects still work.
+            assert all(s.constant == n for n, s in enumerate(survivors))
+            assert len(context.exprs) <= 4
+        finally:
+            _intern.activate(previous)
+
+    def test_cap_must_be_positive(self):
+        with pytest.raises(ValueError):
+            _intern.InternContext(cap=0)
+
+
+class TestPickleRoundTrip:
+    def test_expr_reinterns_on_load(self, fresh_context):
+        expr = AffineExpr({"i": 2, "j": -3}, 5)
+        clone = pickle.loads(pickle.dumps(expr))
+        assert clone is expr  # same context: loads re-interns to the atom
+
+    def test_constraint_reinterns_on_load(self, fresh_context):
+        constraint = Constraint.ge(AffineExpr({"i": 1, "j": 1}), 3)
+        clone = pickle.loads(pickle.dumps(constraint))
+        assert clone is constraint
+
+    def test_load_into_other_context_is_structural(self, fresh_context):
+        expr = AffineExpr({"i": 2}, 5)
+        payload = pickle.dumps(expr)
+        other = _intern.InternContext()
+        previous = _intern.activate(other)
+        try:
+            clone = pickle.loads(payload)
+        finally:
+            _intern.activate(previous)
+        assert clone is not expr
+        assert clone == expr
+
+
+class TestReferenceMode:
+    def test_toggle_returns_previous(self):
+        previous = _intern.set_reference_mode(True)
+        try:
+            assert _intern.reference_mode() is True
+        finally:
+            _intern.set_reference_mode(previous)
+        assert _intern.reference_mode() is previous

@@ -141,3 +141,73 @@ class TestBasicMapHash:
         a = BasicMap.identity(("i",), ("o",))
         b = BasicMap.identity(("j",), ("o",))
         assert a != b
+
+
+class TestInternedKeys:
+    """Eviction and hit/miss accounting with hash-consed atom keys.
+
+    Memo keys are tuples of interned AffineExpr/Constraint atoms; the
+    tables must behave identically whether a key's atoms are the
+    canonical interned objects or structurally equal strays (from a
+    cleared intern table or another context).
+    """
+
+    def test_interned_and_stray_keys_collide(self):
+        from repro.isl import intern as _intern
+
+        table = memo.MemoTable("t")
+        canonical = Constraint.ge(AffineExpr({"i": 1}), 2)
+        table.put(("k", canonical), "v")
+        stray_context = _intern.InternContext()
+        previous = _intern.activate(stray_context)
+        try:
+            stray = Constraint.ge(AffineExpr({"i": 1}), 2)
+        finally:
+            _intern.activate(previous)
+        assert stray is not canonical
+        assert table.get(("k", stray)) == "v"
+        assert (table.hits, table.misses) == (1, 0)
+
+    def test_eviction_under_interned_keys(self):
+        table = memo.MemoTable("t", cap=3)
+        keys = [(AffineExpr({"i": 1}, n),) for n in range(4)]
+        for n, key in enumerate(keys):
+            table.put(key, n)
+        # Cap-3 table cleared wholesale before the 4th insert.
+        assert table.get(keys[0]) is None
+        assert table.get(keys[3]) == 3
+        assert (table.hits, table.misses) == (1, 1)
+
+    def test_projection_key_survives_intern_table_clear(self):
+        from repro.isl import intern as _intern
+
+        bset = _triangle()
+        first = bset.drop_dim("j")
+        _intern.active().clear()  # live atoms stay valid, table forgets
+        second = _triangle().drop_dim("j")
+        assert second.dims == first.dims
+        assert second.constraints == first.constraints
+
+
+class TestMemoOnOffIdentity:
+    """Property: memo on/off is bit-identical across all workloads."""
+
+    WORKLOADS = ("gemm", "bicg", "mm2", "mm3", "gesummv")
+
+    @pytest.mark.parametrize("name", WORKLOADS)
+    def test_workload_bit_identity(self, name):
+        from repro.dse import auto_dse
+        from repro.dse.options import DseOptions
+        from repro.workloads import polybench
+
+        factory = getattr(polybench, name)
+        memo.clear_all()
+        cached = auto_dse(factory(16), options=DseOptions(cache=True))
+        memo.clear_all()
+        uncached = auto_dse(factory(16), options=DseOptions(cache=False))
+        assert cached.report == uncached.report
+        assert cached.tile_vectors() == uncached.tile_vectors()
+        assert cached.evaluations == uncached.evaluations
+        assert [d.fingerprint() for d in cached.schedule] == [
+            d.fingerprint() for d in uncached.schedule
+        ]

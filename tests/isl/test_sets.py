@@ -293,3 +293,61 @@ class TestEqualityEliminationRegression:
         # every realizable b stays inside the projection
         for p in s.points():
             assert projected.contains({"b": p["b"]})
+
+
+class TestParallelPruning:
+    """Scalar-multiple constraints are pruned, not just exact duplicates."""
+
+    def test_scalar_multiples_collapse_on_construction(self):
+        # 2i >= 2 and i >= 1 and 3i >= 3 normalize to the same
+        # half-plane; only one survives.
+        s = BasicSet(
+            ("i",),
+            [
+                Constraint.ge(e({"i": 2}), 2),
+                Constraint.ge(e({"i": 1}), 1),
+                Constraint.ge(e({"i": 3}), 3),
+            ],
+        )
+        assert len(s.constraints) == 1
+
+    def test_parallel_inequalities_keep_tightest(self):
+        # i >= 1 and i >= 5: the conjunction is i >= 5.
+        s = BasicSet(
+            ("i",), [Constraint.ge(e({"i": 1}), 1), Constraint.ge(e({"i": 1}), 5)]
+        )
+        assert len(s.constraints) == 1
+        assert not s.contains({"i": 4})
+        assert s.contains({"i": 5})
+
+    def test_negated_equalities_collapse(self):
+        s = BasicSet(
+            ("i", "j"),
+            [Constraint.eq(e({"i": 1, "j": -1})), Constraint.eq(e({"i": -1, "j": 1}))],
+        )
+        assert len(s.constraints) == 1
+
+    def test_intersect_project_chain_stays_bounded(self):
+        # Repeated intersect + project_onto used to accumulate parallel
+        # constraints without bound (every Fourier-Motzkin step combines
+        # them pairwise, squaring the system).  Each iteration lifts the
+        # set with an auxiliary dim t and projects it back out, so the
+        # elimination really runs; the constraint count must stay flat
+        # and the set's meaning must not change.
+        s = BasicSet.box({"i": (0, 63), "j": (0, 63), "k": (0, 63)})
+        sizes = []
+        for step in range(12):
+            lifted = BasicSet(
+                ("i", "j", "k", "t"),
+                list(s.constraints)
+                + [
+                    Constraint.ge(e({"t": 1}), -step),
+                    Constraint.ge(e({"t": -1, "i": 1, "j": 1}), 5 - 64),
+                    Constraint.ge(e({"t": 1, "k": -1}), -64),
+                ],
+            )
+            s = lifted.project_onto(("i", "j", "k"))
+            sizes.append(len(s.constraints))
+        assert max(sizes) <= 16, sizes
+        assert sizes[-1] == sizes[3], sizes  # converged, not growing
+        assert s.count_points() > 0
