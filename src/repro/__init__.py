@@ -43,6 +43,7 @@ _SUBMODULES = (
     "trace",
     "util",
     "cli",
+    "fuzz",
 )
 
 #: Top-level convenience re-exports: public name -> defining module.
@@ -57,6 +58,10 @@ _EXPORTS = {
     "DseOptions": "repro.dse",
     "DseResult": "repro.dse",
     "DseStats": "repro.dse",
+    # Simulation (compiled numpy oracle)
+    "simulate": "repro.affine",
+    "interpret": "repro.affine",
+    "CompiledKernel": "repro.affine",
     # Tracing and metrics
     "Tracer": "repro.trace",
     "tracing": "repro.trace",

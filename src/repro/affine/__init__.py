@@ -6,6 +6,14 @@ polyhedral AST, a functional interpreter (the correctness oracle of the
 test suite), and an MLIR-like printer.
 """
 
+from repro.affine.compile import (
+    CompiledKernel,
+    KernelStats,
+    compile_func,
+    reference_mode,
+    set_reference_mode,
+    simulate,
+)
 from repro.affine.interp import interpret
 from repro.affine.ir import (
     AffineForOp,
@@ -33,6 +41,8 @@ __all__ = [
     "ArithOp", "CallOp", "CastOp", "ConstantOp", "IndexOp",
     "lower_program", "lower_ast", "lower_expr",
     "interpret", "print_func",
+    "simulate", "compile_func", "CompiledKernel", "KernelStats",
+    "reference_mode", "set_reference_mode",
     "PassManager", "canonicalize", "default_pipeline",
     "parse_func", "ParseError",
 ]

@@ -5,6 +5,16 @@ the sequential semantics of the emitted HLS C code.  This is the
 ground-truth oracle the test suite uses to prove that every loop
 transformation and the whole lowering pipeline preserve the algorithm:
 ``interpret(lowered) == reference_execute(original)`` for random inputs.
+
+Scalar arithmetic follows the emitted C exactly (see
+:mod:`repro.hlsgen.codegen`): integer ``/`` and ``%`` truncate toward
+zero like C, float ``%`` is ``fmod`` computed *at the operands' width*
+(the backend emits ``fmodf`` for ``float``), and the math intrinsics
+preserve numpy scalar dtypes instead of silently promoting to Python
+``float`` -- a promotion that would make an f32 workload evaluate in
+f64 and diverge bit-wise from both the hardware and the compiled
+simulator (:mod:`repro.affine.compile`), which shares the helpers
+defined here.
 """
 
 from __future__ import annotations
@@ -30,13 +40,70 @@ from repro.affine.ir import (
     ValueOp,
 )
 
+
+def _is_integer(value) -> bool:
+    """Whether a scalar participates in C *integer* arithmetic."""
+    return isinstance(value, (int, np.integer))
+
+
+def c_div(lhs, rhs):
+    """C division: truncating for two integers, true division otherwise.
+
+    Matches the emitted ``lhs / rhs``: integer operands divide with the
+    quotient rounded toward zero (Python's ``//`` floors, which differs
+    for negative results); a float operand promotes the division to
+    floating point at the operands' joint width (NEP-50 keeps
+    ``np.float32 / int`` in f32, exactly like C's usual arithmetic
+    conversions for ``float / int``).
+    """
+    if _is_integer(lhs) and _is_integer(rhs):
+        quotient = abs(lhs) // abs(rhs)
+        return quotient if (lhs >= 0) == (rhs >= 0) else -quotient
+    return lhs / rhs
+
+
+def c_mod(lhs, rhs):
+    """C remainder: ``%`` for integers, ``fmod`` at operand width for floats.
+
+    Integer remainder takes the sign of the dividend (C99 ``%``).  The
+    float branch uses :func:`numpy.fmod` -- same truncated semantics as
+    C ``fmod``/``fmodf`` including negative operands, but unlike
+    :func:`math.fmod` it computes at the operands' dtype: the backend
+    emits ``fmodf`` for f32 arrays, and evaluating through f64 would
+    diverge whenever the f32 remainder rounds differently.
+    """
+    if _is_integer(lhs) and _is_integer(rhs):
+        quotient = abs(lhs) // abs(rhs)
+        signed = quotient if (lhs >= 0) == (rhs >= 0) else -quotient
+        return lhs - signed * rhs
+    return np.fmod(lhs, rhs)
+
+
+def _dtype_preserving(np_func, math_func):
+    """Dispatch a unary intrinsic: numpy scalars keep their dtype.
+
+    ``math.sqrt(np.float32(x))`` silently returns a Python float (f64),
+    poisoning every op downstream of the call with double precision the
+    emitted ``sqrtf`` does not have.  numpy's ufuncs compute at the
+    scalar's own width; Python floats keep the ``math`` version, whose
+    f64 result the numpy ufunc reproduces bit-for-bit anyway.
+    """
+
+    def call(value):
+        if isinstance(value, np.generic):
+            return np_func(value)
+        return math_func(value)
+
+    return call
+
+
 _CALLS = {
     "min": min,
     "max": max,
     "abs": abs,
-    "sqrt": math.sqrt,
-    "exp": math.exp,
-    "log": math.log,
+    "sqrt": _dtype_preserving(np.sqrt, math.sqrt),
+    "exp": _dtype_preserving(np.exp, math.exp),
+    "log": _dtype_preserving(np.log, math.log),
     "relu": lambda x: x if x > 0 else type(x)(0),
 }
 
@@ -91,16 +158,9 @@ def _eval(op: ValueOp, env: Dict[str, int], arrays):
         if op.kind == "*":
             return lhs * rhs
         if op.kind == "/":
-            if isinstance(lhs, (int, np.integer)) and isinstance(rhs, (int, np.integer)):
-                quotient = abs(lhs) // abs(rhs)
-                return quotient if (lhs >= 0) == (rhs >= 0) else -quotient
-            return lhs / rhs
+            return c_div(lhs, rhs)
         if op.kind == "%":
-            if isinstance(lhs, (int, np.integer)) and isinstance(rhs, (int, np.integer)):
-                quotient = abs(lhs) // abs(rhs)
-                signed = quotient if (lhs >= 0) == (rhs >= 0) else -quotient
-                return lhs - signed * rhs
-            return math.fmod(lhs, rhs)
+            return c_mod(lhs, rhs)
         raise ValueError(op.kind)
     if isinstance(op, CallOp):
         return _CALLS[op.func](*(_eval(a, env, arrays) for a in op.operands))

@@ -422,6 +422,65 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_fuzz(args) -> int:
+    """`repro fuzz`: differential fuzzing over the legal schedule space."""
+    from repro import trace as trace_mod
+    from repro.fuzz import FuzzOptions, run_campaign
+
+    workloads = (
+        tuple(w.strip() for w in args.workloads.split(",") if w.strip())
+        if args.workloads
+        else None
+    )
+    sizes = (
+        tuple(int(s) for s in args.sizes.split(",") if s.strip())
+        if args.sizes
+        else None
+    )
+    options = FuzzOptions(
+        seed=args.seed,
+        trials=args.trials,
+        max_directives=args.max_directives,
+        jobs=args.jobs if args.jobs is not None else 1,
+        time_budget_s=args.time_budget,
+        out_dir=args.out,
+    )
+    if workloads is not None:
+        options.workloads = workloads
+    if sizes is not None:
+        options.sizes = sizes
+    try:
+        options.validate()
+    except (ValueError, KeyError) as exc:
+        raise SystemExit(str(exc))
+    tracer = trace_mod.Tracer() if args.trace else None
+    with trace_mod.tracing(tracer) if tracer else _null_context():
+        campaign = run_campaign(options)
+    if tracer is not None:
+        _export_trace(tracer, args.trace)
+    print(
+        f"fuzz campaign: seed={options.seed} trials={campaign.trials_run}"
+        f"/{options.trials} passed={campaign.passed} "
+        f"mismatches={len(campaign.mismatches)} crashes={len(campaign.crashes)} "
+        f"({campaign.elapsed_s:.1f}s)"
+    )
+    for diagnostic in campaign.engine.diagnostics:
+        print(diagnostic.render(), file=sys.stderr)
+    if campaign.repro_paths:
+        print("reproducers:", file=sys.stderr)
+        for path in campaign.repro_paths:
+            print(f"  {path}", file=sys.stderr)
+    if args.stats:
+        by_workload: Dict[str, int] = {}
+        for result in campaign.results:
+            by_workload[result.workload] = by_workload.get(result.workload, 0) + 1
+        print()
+        print("trials per workload:")
+        for name in sorted(by_workload):
+            print(f"  {name}: {by_workload[name]}")
+    return 1 if campaign.failures else 0
+
+
 def cmd_experiment(args) -> int:
     from repro.evaluation import ALL_EXPERIMENTS
 
@@ -545,6 +604,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_run_flags(trace_p, jobs=True, trace=True)
     trace_p.set_defaults(func=cmd_trace)
+
+    fuzz_p = sub.add_parser(
+        "fuzz",
+        help="fuzz the legal schedule space: random legal schedules checked "
+             "differentially (compiled simulation vs DSL reference)",
+    )
+    fuzz_p.add_argument(
+        "--seed", type=int, default=0,
+        help="master seed; the whole campaign is deterministic in it",
+    )
+    fuzz_p.add_argument(
+        "--trials", type=int, default=200, metavar="N",
+        help="number of schedule trials to run (default: 200)",
+    )
+    fuzz_p.add_argument(
+        "--time-budget", type=float, metavar="SECONDS", default=None,
+        help="stop drawing new trials at this wall-clock budget (FUZ004)",
+    )
+    fuzz_p.add_argument(
+        "--workloads", metavar="A,B,...", default=None,
+        help="comma-separated workload names (default: a cheap all-family set)",
+    )
+    fuzz_p.add_argument(
+        "--sizes", metavar="N,M,...", default=None,
+        help="comma-separated problem sizes (default: 8,12)",
+    )
+    fuzz_p.add_argument(
+        "--max-directives", type=int, default=6, metavar="N",
+        help="maximum directives per generated schedule (default: 6)",
+    )
+    fuzz_p.add_argument(
+        "--out", metavar="DIR", default=None,
+        help="write minimized repro scripts and summary.json here",
+    )
+    _add_run_flags(fuzz_p, jobs=True, stats=True, trace=True)
+    fuzz_p.set_defaults(func=cmd_fuzz)
 
     experiment_p = sub.add_parser("experiment", help="regenerate a table/figure")
     experiment_p.add_argument("name", help="experiment id (e.g. table3) or 'all'")

@@ -10,6 +10,7 @@ instead of parsing message strings.  Codes group by layer:
 * ``VER0xx`` -- affine IR structural verifier;
 * ``DSE0xx`` -- design space exploration fault handling;
 * ``RPT0xx`` -- evaluation harness;
+* ``FUZ0xx`` -- schedule fuzzing (differential harness);
 * ``GEN0xx`` -- unclassified.
 
 See ``docs/diagnostics.md`` for the full catalogue with examples.
@@ -58,6 +59,11 @@ CODES: Dict[str, str] = {
     "RPT001": "experiment failed during evaluation",
     # -- tracing and metrics ---------------------------------------------
     "TRC001": "trace output could not be written; run completed without it",
+    # -- schedule fuzzing -------------------------------------------------
+    "FUZ001": "differential mismatch between compiled simulation and DSL reference",
+    "FUZ002": "fuzz trial crashed before the differential comparison",
+    "FUZ003": "minimized fuzz reproducer script written",
+    "FUZ004": "fuzz time budget exhausted before requested trials completed",
     # -- fallback --------------------------------------------------------
     "GEN001": "unclassified error",
 }

@@ -1,0 +1,32 @@
+"""Seeded schedule fuzzing: the correctness backstop for transformations.
+
+The fuzzer draws random *legal* schedules (every directive is accepted
+by the :mod:`repro.preflight` legality checker before it enters a
+trial), runs each trial differentially -- transform, lower, compiled
+simulation (:mod:`repro.affine.compile`) versus the DSL reference
+executor -- across workload families and sizes, shrinks any failing
+schedule to a minimal reproducer, and emits runnable repro scripts.
+Driven by the ``repro fuzz`` CLI; see ``docs/resilience.md``.
+"""
+
+from repro.fuzz.generator import random_schedule
+from repro.fuzz.harness import (
+    TrialResult,
+    replay,
+    run_trial,
+    shrink_failure,
+    write_repro_script,
+)
+from repro.fuzz.runner import CampaignResult, FuzzOptions, run_campaign
+
+__all__ = [
+    "random_schedule",
+    "run_trial",
+    "TrialResult",
+    "shrink_failure",
+    "write_repro_script",
+    "replay",
+    "FuzzOptions",
+    "CampaignResult",
+    "run_campaign",
+]

@@ -1,0 +1,317 @@
+"""Differential trial execution, shrinking, and repro-script emission.
+
+One *trial* is: build a workload, draw a random legal schedule
+(:mod:`repro.fuzz.generator`), then run the transformed program two
+ways on identical inputs --
+
+* **reference**: :meth:`Function.reference_execute`, which interprets
+  only the structural (``after``/``fuse``) directives -- the DSL-level
+  meaning of the algorithm;
+* **simulated**: the full pipeline (``lower()``) followed by the
+  compiled numpy simulator (:func:`repro.affine.compile.simulate`).
+
+The comparison is *exact* (``np.array_equal``): a legal schedule
+reorders statement instances without changing any cell's operation
+sequence, and the compiled simulator is bit-identical to the
+interpreter by contract, so the first differing bit is a bug.  On a
+mismatch the trial re-runs through the tree-walking interpreter to
+attribute the failure: if the interpreter agrees with the reference,
+the compiled simulator is wrong (``oracle="sim"``); if it agrees with
+the simulation, the transformation/lowering pipeline is wrong
+(``oracle="transform"``).
+
+Failures are shrunk by greedy one-at-a-time removal of schedule
+directives and partitions -- keeping only removals that leave the
+schedule preflight-clean *and* still failing -- and written out as
+standalone repro scripts that exit 1 while the bug reproduces.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.dsl.function import Function
+from repro.dsl.serialize import schedule_from_dict, schedule_to_dict
+from repro.preflight import preflight_schedule
+from repro.util.atomic import atomic_write
+
+#: Maximum differential re-executions spent shrinking one failure.
+SHRINK_BUDGET = 120
+
+
+def workload_factory(name: str):
+    """Look up a workload builder by name across all suites."""
+    from repro.workloads import ALL_SUITES
+
+    for builders in ALL_SUITES.values():
+        if name in builders:
+            return builders[name]
+    raise KeyError(f"unknown workload {name!r}")
+
+
+def build_workload(name: str, size: int) -> Function:
+    return workload_factory(name)(size)
+
+
+@dataclass
+class TrialResult:
+    """Outcome of one differential trial (picklable, JSON-able)."""
+
+    workload: str
+    size: int
+    seed: int
+    kind: str  # "pass" | "mismatch" | "crash"
+    schedule: Dict[str, Any] = field(default_factory=dict)
+    error: Optional[str] = None
+    stage: Optional[str] = None          # where a crash happened
+    mismatch_arrays: List[str] = field(default_factory=list)
+    oracle: Optional[str] = None         # "sim" | "transform" | "both"
+    minimized: Optional[Dict[str, Any]] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.kind == "pass"
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "workload": self.workload,
+            "size": self.size,
+            "seed": self.seed,
+            "kind": self.kind,
+            "schedule": self.schedule,
+            "error": self.error,
+            "stage": self.stage,
+            "mismatch_arrays": self.mismatch_arrays,
+            "oracle": self.oracle,
+            "minimized": self.minimized,
+        }
+
+
+def _differential(
+    workload: str, size: int, seed: int, schedule: Dict[str, Any]
+) -> Tuple[str, List[str], Optional[str], Optional[str], Optional[str]]:
+    """Run one serialized schedule differentially.
+
+    Returns ``(kind, mismatch_arrays, oracle, stage, error)``.
+    """
+    from repro.affine.compile import simulate
+    from repro.affine.interp import interpret
+
+    stage = "build"
+    try:
+        function = build_workload(workload, size)
+        schedule_from_dict(function, schedule)
+        stage = "reference"
+        reference = function.allocate_arrays(seed=seed)
+        function.reference_execute(reference)
+        stage = "lower"
+        func = function.lower()
+        stage = "simulate"
+        simulated = build_workload(workload, size).allocate_arrays(seed=seed)
+        simulate(func, simulated)
+    except Exception as exc:
+        detail = traceback.format_exc(limit=6)
+        return "crash", [], None, stage, f"{type(exc).__name__}: {exc}\n{detail}"
+
+    mismatched = sorted(
+        name
+        for name in reference
+        if not np.array_equal(reference[name], simulated[name])
+    )
+    if not mismatched:
+        return "pass", [], None, None, None
+
+    # Attribute the failure: does the tree-walking interpreter side with
+    # the reference (compiled-sim bug) or the simulation (transform bug)?
+    oracle = "both"
+    try:
+        interpreted = build_workload(workload, size).allocate_arrays(seed=seed)
+        interpret(func, interpreted)
+        sim_bug = any(
+            not np.array_equal(interpreted[name], simulated[name]) for name in mismatched
+        )
+        transform_bug = any(
+            not np.array_equal(interpreted[name], reference[name]) for name in mismatched
+        )
+        if sim_bug and not transform_bug:
+            oracle = "sim"
+        elif transform_bug and not sim_bug:
+            oracle = "transform"
+    except Exception:  # attribution is best-effort
+        oracle = "both"
+    return "mismatch", mismatched, oracle, None, None
+
+
+def check_schedule(workload: str, size: int, seed: int, schedule: Dict[str, Any]) -> bool:
+    """True when the serialized schedule passes the differential check."""
+    kind, _, _, _, _ = _differential(workload, size, seed, schedule)
+    return kind == "pass"
+
+
+def run_trial(
+    workload: str, size: int, seed: int, max_directives: int = 6
+) -> TrialResult:
+    """Generate one random legal schedule for ``workload`` and check it.
+
+    Fully deterministic in ``(workload, size, seed, max_directives)``.
+    """
+    from repro import trace as _trace
+    from repro.fuzz.generator import random_schedule
+
+    with _trace.span("fuzz.trial", category="fuzz",
+                     args={"workload": workload, "size": size, "seed": seed}):
+        rng = random.Random(seed)
+        try:
+            function = build_workload(workload, size)
+            random_schedule(function, rng, max_directives=max_directives)
+            schedule = schedule_to_dict(function)
+        except Exception as exc:
+            detail = traceback.format_exc(limit=6)
+            return TrialResult(
+                workload, size, seed, "crash",
+                stage="generate", error=f"{type(exc).__name__}: {exc}\n{detail}",
+            )
+        kind, mismatched, oracle, stage, error = _differential(
+            workload, size, seed, schedule
+        )
+        return TrialResult(
+            workload, size, seed, kind,
+            schedule=schedule, error=error, stage=stage,
+            mismatch_arrays=mismatched, oracle=oracle,
+        )
+
+
+# -- shrinking ----------------------------------------------------------------
+
+
+def _still_fails(workload: str, size: int, seed: int, schedule: Dict[str, Any]) -> bool:
+    """The shrink predicate: preflight-clean AND still failing."""
+    try:
+        function = build_workload(workload, size)
+        schedule_from_dict(function, schedule)
+    except Exception:
+        return False
+    if preflight_schedule(function).errors():
+        return False
+    kind, _, _, _, _ = _differential(workload, size, seed, schedule)
+    return kind != "pass"
+
+
+def shrink_failure(result: TrialResult) -> Dict[str, Any]:
+    """Greedily minimize a failing trial's schedule.
+
+    Removes one directive or partition at a time, keeping a removal only
+    when the reduced schedule is still accepted by preflight and still
+    fails the differential check.  Bounded by :data:`SHRINK_BUDGET`
+    re-executions; returns the smallest failing schedule found.
+    """
+    from repro import trace as _trace
+
+    current = {
+        "directives": list(result.schedule.get("directives", [])),
+        "partitions": dict(result.schedule.get("partitions", {})),
+    }
+    spent = 0
+    with _trace.span("fuzz.shrink", category="fuzz",
+                     args={"workload": result.workload, "seed": result.seed}):
+        progress = True
+        while progress and spent < SHRINK_BUDGET:
+            progress = False
+            for index in range(len(current["directives"]) - 1, -1, -1):
+                if spent >= SHRINK_BUDGET:
+                    break
+                candidate = {
+                    "directives": current["directives"][:index]
+                    + current["directives"][index + 1:],
+                    "partitions": dict(current["partitions"]),
+                }
+                spent += 1
+                if _still_fails(result.workload, result.size, result.seed, candidate):
+                    current = candidate
+                    progress = True
+            for name in sorted(current["partitions"]):
+                if spent >= SHRINK_BUDGET:
+                    break
+                candidate = {
+                    "directives": list(current["directives"]),
+                    "partitions": {
+                        k: v for k, v in current["partitions"].items() if k != name
+                    },
+                }
+                spent += 1
+                if _still_fails(result.workload, result.size, result.seed, candidate):
+                    current = candidate
+                    progress = True
+    return current
+
+
+# -- repro scripts ------------------------------------------------------------
+
+_REPRO_TEMPLATE = '''#!/usr/bin/env python
+"""Minimized fuzz reproducer (FUZ003), generated by `repro fuzz`.
+
+Runs the recorded schedule differentially (DSL reference vs compiled
+simulation) and exits 1 while the discrepancy reproduces, 0 once fixed.
+"""
+import json
+import sys
+
+from repro.fuzz.harness import replay
+
+PAYLOAD = json.loads({payload})
+
+if __name__ == "__main__":
+    sys.exit(replay(PAYLOAD))
+'''
+
+
+def replay(payload: Dict[str, Any]) -> int:
+    """Re-run a serialized failure; returns a process exit code.
+
+    ``payload`` needs ``workload``, ``size``, ``seed``, ``schedule``.
+    Prints a verdict; exit code 1 while the bug reproduces, 0 when the
+    differential check passes, 2 when the replay itself is invalid.
+    """
+    workload = payload["workload"]
+    size = int(payload["size"])
+    seed = int(payload["seed"])
+    schedule = payload["schedule"]
+    try:
+        kind, mismatched, oracle, stage, error = _differential(
+            workload, size, seed, schedule
+        )
+    except Exception as exc:  # pragma: no cover - defensive
+        print(f"replay invalid: {type(exc).__name__}: {exc}")
+        return 2
+    if kind == "pass":
+        print(f"{workload}[{size}] seed={seed}: differential check passes (fixed)")
+        return 0
+    if kind == "crash":
+        print(f"{workload}[{size}] seed={seed}: crash at stage {stage}: {error}")
+        return 1
+    print(
+        f"{workload}[{size}] seed={seed}: MISMATCH on {', '.join(mismatched)} "
+        f"(suspect: {oracle})"
+    )
+    return 1
+
+
+def write_repro_script(result: TrialResult, path: str) -> str:
+    """Write a standalone repro script for a failing trial."""
+    payload = {
+        "workload": result.workload,
+        "size": result.size,
+        "seed": result.seed,
+        "schedule": result.minimized
+        if result.minimized is not None
+        else result.schedule,
+    }
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    atomic_write(path, _REPRO_TEMPLATE.format(payload=repr(text)))
+    return path

@@ -57,7 +57,7 @@ class InternContext:
     a cleared or replaced context also drops its compiled code.
     """
 
-    __slots__ = ("cap", "exprs", "constraints", "bound_fns", "trip_fns")
+    __slots__ = ("cap", "exprs", "constraints", "bound_fns", "trip_fns", "kernel_fns")
 
     def __init__(self, cap: int = DEFAULT_CAP):
         if cap <= 0:
@@ -67,6 +67,10 @@ class InternContext:
         self.constraints: Dict[Any, Any] = {}
         self.bound_fns: Dict[Any, Any] = {}
         self.trip_fns: Dict[Any, Any] = {}
+        # Compiled whole-function simulation kernels keyed by FuncOp
+        # fingerprint (see repro.affine.compile); kept here so a cleared
+        # or per-session context drops its compiled code with it.
+        self.kernel_fns: Dict[Any, Any] = {}
 
     def stats(self) -> Dict[str, int]:
         """Current table sizes, keyed by table name."""
@@ -75,6 +79,7 @@ class InternContext:
             "constraints": len(self.constraints),
             "bound_fns": len(self.bound_fns),
             "trip_fns": len(self.trip_fns),
+            "kernel_fns": len(self.kernel_fns),
         }
 
     def clear(self) -> None:
@@ -83,6 +88,7 @@ class InternContext:
         self.constraints.clear()
         self.bound_fns.clear()
         self.trip_fns.clear()
+        self.kernel_fns.clear()
 
 
 _ACTIVE = InternContext()

@@ -90,7 +90,7 @@ def vgg16(size: int = 8, channel_scale: float = 1.0) -> Function:
             for _ in range(n_convs):
                 index += 1
                 spec = ConvSpec(f"conv{index}", c_in, c_out, spatial)
-                current = _conv(f, spec, current)
+                current = _conv(f, spec, _as_input(f, current, c_in, spatial))
                 c_in = c_out
             spatial = max(1, spatial // 2)
             if index < 13:

@@ -1,0 +1,290 @@
+"""Interpreter corner cases: C arithmetic semantics, casts, calls, guards.
+
+The interpreter is the transformation-correctness oracle *and* the
+semantic contract the compiled simulator (:mod:`repro.affine.compile`)
+must match bit-for-bit, so its scalar helpers get exact-value tests
+here: C's truncating integer ``/`` and ``%`` (Python's ``//`` floors),
+float remainder computed at the operands' width (``fmodf``, not
+``fmod``-through-f64), and math intrinsics that preserve numpy scalar
+dtypes instead of silently promoting to Python ``float``.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.affine import (
+    AffineForOp,
+    AffineIfOp,
+    AffineLoadOp,
+    AffineStoreOp,
+    ArithOp,
+    Block,
+    CallOp,
+    CastOp,
+    ConstantOp,
+    FuncOp,
+    IndexOp,
+    interpret,
+)
+from repro.affine.interp import _CALLS, c_div, c_mod
+from repro.dsl import float32, int32, placeholder
+from repro.isl.affine import AffineExpr
+from repro.isl.constraint import EQ, GE, Constraint
+from repro.isl.sets import LoopBound
+
+e = AffineExpr
+
+
+class TestCDivision:
+    """Integer ``/`` truncates toward zero -- C99, not Python ``//``."""
+
+    @pytest.mark.parametrize(
+        "lhs,rhs,expected",
+        [(7, 2, 3), (-7, 2, -3), (7, -2, -3), (-7, -2, 3), (6, 3, 2), (0, 5, 0)],
+    )
+    def test_truncates_toward_zero(self, lhs, rhs, expected):
+        assert c_div(lhs, rhs) == expected
+        # Python's floor division disagrees on every mixed-sign case.
+        if (lhs >= 0) != (rhs >= 0) and lhs % rhs != 0:
+            assert lhs // rhs != expected
+
+    def test_numpy_integer_operands(self):
+        assert c_div(np.int32(-7), np.int32(2)) == -3
+        assert c_div(np.int32(-7), 2) == -3
+        assert c_div(7, np.int64(-2)) == -3
+
+    def test_float_operand_promotes_to_true_division(self):
+        assert c_div(7.0, 2) == 3.5
+        assert c_div(7, 2.0) == 3.5
+
+    def test_float32_division_stays_float32(self):
+        out = c_div(np.float32(1.0), 3)
+        assert out.dtype == np.float32
+        assert out == np.float32(1.0) / np.float32(3)
+
+
+class TestCRemainder:
+    """``%`` takes the dividend's sign for ints; floats use fmod."""
+
+    @pytest.mark.parametrize(
+        "lhs,rhs,expected",
+        [(7, 2, 1), (-7, 2, -1), (7, -2, 1), (-7, -2, -1), (6, 3, 0)],
+    )
+    def test_integer_sign_of_dividend(self, lhs, rhs, expected):
+        assert c_mod(lhs, rhs) == expected
+        # Identity C guarantees: (a/b)*b + a%b == a.
+        assert c_div(lhs, rhs) * rhs + c_mod(lhs, rhs) == lhs
+
+    def test_float_remainder_is_fmod(self):
+        assert c_mod(-5.5, 2.0) == math.fmod(-5.5, 2.0) == -1.5
+        assert c_mod(5.5, -2.0) == math.fmod(5.5, -2.0) == 1.5
+
+    def test_float32_remainder_stays_float32(self):
+        lhs, rhs = np.float32(5.1), np.float32(0.7)
+        out = c_mod(lhs, rhs)
+        # np.fmod keeps the operands' dtype; math.fmod would return a
+        # Python float whose strong f64 identity poisons any buffer it
+        # is stored into before numpy truncates it back.
+        assert isinstance(out, np.float32)
+        assert out == np.fmod(lhs, rhs)
+
+
+class TestIntrinsicDtypes:
+    """Math intrinsics must not promote numpy scalars to Python float."""
+
+    @pytest.mark.parametrize("name", ["sqrt", "exp", "log"])
+    def test_float32_preserved(self, name):
+        out = _CALLS[name](np.float32(2.0))
+        assert isinstance(out, np.float32)
+
+    @pytest.mark.parametrize("name", ["sqrt", "exp", "log"])
+    def test_python_float_stays_python(self, name):
+        out = _CALLS[name](2.0)
+        assert type(out) is float
+        assert out == getattr(math, name)(2.0)
+
+    def test_relu_preserves_type(self):
+        assert isinstance(_CALLS["relu"](np.float32(-2.0)), np.float32)
+        assert _CALLS["relu"](np.float32(-2.0)) == 0
+        assert _CALLS["relu"](np.float32(3.0)) == np.float32(3.0)
+        out = _CALLS["relu"](np.int32(-1))
+        assert isinstance(out, np.int32) and out == 0
+        assert type(_CALLS["relu"](-1.5)) is float
+
+    def test_sqrt_f32_differs_from_f64_rounding(self):
+        value = np.float32(2.0)
+        f32 = _CALLS["sqrt"](value)
+        assert f32 == np.sqrt(value)
+        assert float(f32) != math.sqrt(float(value))
+
+
+def _loop(iterator, lo, hi, body_ops):
+    return AffineForOp(
+        iterator,
+        [LoopBound(e.const(lo), 1, True)],
+        [LoopBound(e.const(hi), 1, False)],
+        Block(body_ops),
+    )
+
+
+class TestCastOpInterp:
+    def test_float_to_int_truncates_toward_zero(self):
+        A = placeholder("A", (4,))
+        B = placeholder("B", (4,), int32)
+        store = AffineStoreOp(
+            B, [e.var("i")], CastOp(int32, AffineLoadOp(A, [e.var("i")]))
+        )
+        func = FuncOp("cast", [A, B], Block([_loop("i", 0, 3, [store])]))
+        arrays = {
+            "A": np.array([2.7, -2.7, 0.5, -0.5], dtype=np.float32),
+            "B": np.zeros(4, dtype=np.int32),
+        }
+        interpret(func, arrays)
+        assert arrays["B"].tolist() == [2, -2, 0, 0]
+
+    def test_int_to_float32_rounds_at_width(self):
+        A = placeholder("A", (1,), int32)
+        B = placeholder("B", (1,), float32)
+        store = AffineStoreOp(
+            B, [e.var("i")], CastOp(float32, AffineLoadOp(A, [e.var("i")]))
+        )
+        func = FuncOp("cast", [A, B], Block([_loop("i", 0, 0, [store])]))
+        arrays = {
+            "A": np.array([2**24 + 1], dtype=np.int32),  # not representable in f32
+            "B": np.zeros(1, dtype=np.float32),
+        }
+        interpret(func, arrays)
+        assert arrays["B"][0] == np.float32(2**24 + 1)
+        assert float(arrays["B"][0]) != float(2**24 + 1)  # rounded to 2**24
+
+
+class TestCallOpInterp:
+    def test_variadic_min_max(self):
+        A = placeholder("A", (3,))
+        B = placeholder("B", (1,))
+        loads = [AffineLoadOp(A, [e.const(k)]) for k in range(3)]
+        func = FuncOp(
+            "mm",
+            [A, B],
+            Block([AffineStoreOp(B, [e.const(0)], CallOp("min", list(loads)))]),
+        )
+        arrays = {
+            "A": np.array([3.0, 1.0, 2.0], dtype=np.float32),
+            "B": np.zeros(1, dtype=np.float32),
+        }
+        interpret(func, arrays)
+        assert arrays["B"][0] == 1.0
+
+    def test_max_with_weak_zero_keeps_f32(self):
+        # max(f32_load, 0.0) is the relu idiom the image suite lowers to;
+        # the Python 0.0 literal must not promote the result to f64.
+        A = placeholder("A", (2,))
+        B = placeholder("B", (2,))
+        store = AffineStoreOp(
+            B,
+            [e.var("i")],
+            CallOp("max", [AffineLoadOp(A, [e.var("i")]), ConstantOp(0.0)]),
+        )
+        func = FuncOp("relu", [A, B], Block([_loop("i", 0, 1, [store])]))
+        arrays = {
+            "A": np.array([-1.5, 2.5], dtype=np.float32),
+            "B": np.zeros(2, dtype=np.float32),
+        }
+        interpret(func, arrays)
+        assert arrays["B"].tolist() == [0.0, 2.5]
+
+
+class TestAffineIfInterp:
+    def test_ge_guard_masks_iterations(self):
+        A = placeholder("A", (6,))
+        guarded = AffineIfOp(
+            [Constraint(e.var("i") - 2, GE)],  # i >= 2
+            Block([AffineStoreOp(A, [e.var("i")], ConstantOp(1.0))]),
+        )
+        func = FuncOp("guard", [A], Block([_loop("i", 0, 5, [guarded])]))
+        arrays = {"A": np.zeros(6, dtype=np.float32)}
+        interpret(func, arrays)
+        assert arrays["A"].tolist() == [0, 0, 1, 1, 1, 1]
+
+    def test_eq_guard_selects_single_point(self):
+        A = placeholder("A", (5,))
+        guarded = AffineIfOp(
+            [Constraint(e.var("i") - 3, EQ)],
+            Block([AffineStoreOp(A, [e.var("i")], ConstantOp(7.0))]),
+        )
+        func = FuncOp("guard", [A], Block([_loop("i", 0, 4, [guarded])]))
+        arrays = {"A": np.zeros(5, dtype=np.float32)}
+        interpret(func, arrays)
+        assert arrays["A"].tolist() == [0, 0, 0, 7, 0]
+
+    def test_conjunction_of_guards(self):
+        A = placeholder("A", (6,))
+        guarded = AffineIfOp(
+            [Constraint(e.var("i") - 1, GE), Constraint(e.const(4) - e.var("i"), GE)],
+            Block([AffineStoreOp(A, [e.var("i")], ConstantOp(1.0))]),
+        )
+        func = FuncOp("guard", [A], Block([_loop("i", 0, 5, [guarded])]))
+        arrays = {"A": np.zeros(6, dtype=np.float32)}
+        interpret(func, arrays)
+        assert arrays["A"].tolist() == [0, 1, 1, 1, 1, 0]
+
+
+class TestArithThroughInterp:
+    """End-to-end: ArithOp / and % dispatch to the C helpers."""
+
+    def test_integer_div_mod_on_negative_values(self):
+        A = placeholder("A", (4,), int32)
+        Q = placeholder("Q", (4,), int32)
+        R = placeholder("R", (4,), int32)
+        load = AffineLoadOp(A, [e.var("i")])
+        two = ConstantOp(2)
+        body = [
+            AffineStoreOp(Q, [e.var("i")], ArithOp("/", load, two)),
+            AffineStoreOp(R, [e.var("i")], ArithOp("%", load, two)),
+        ]
+        func = FuncOp("dm", [A, Q, R], Block([_loop("i", 0, 3, body)]))
+        arrays = {
+            "A": np.array([7, -7, 5, -5], dtype=np.int32),
+            "Q": np.zeros(4, dtype=np.int32),
+            "R": np.zeros(4, dtype=np.int32),
+        }
+        interpret(func, arrays)
+        assert arrays["Q"].tolist() == [3, -3, 2, -2]
+        assert arrays["R"].tolist() == [1, -1, 1, -1]
+
+    def test_index_op_scaled_subscript(self):
+        A = placeholder("A", (8,))
+        B = placeholder("B", (4,))
+        store = AffineStoreOp(
+            B, [e.var("i")], AffineLoadOp(A, [e({"i": 2})])
+        )
+        func = FuncOp("stride", [A, B], Block([_loop("i", 0, 3, [store])]))
+        arrays = {
+            "A": np.arange(8, dtype=np.float32),
+            "B": np.zeros(4, dtype=np.float32),
+        }
+        interpret(func, arrays)
+        assert arrays["B"].tolist() == [0, 2, 4, 6]
+
+    def test_index_value_stays_weak_python_int(self):
+        # A bare IndexOp in value position: f32 = f32 * i must stay f32
+        # (a strong int64 scalar would promote the product to f64).
+        A = placeholder("A", (4,))
+        store = AffineStoreOp(
+            A,
+            [e.var("i")],
+            ArithOp("*", AffineLoadOp(A, [e.var("i")]), IndexOp(e.var("i"))),
+        )
+        func = FuncOp("idx", [A], Block([_loop("i", 0, 3, [store])]))
+        arrays = {"A": np.full(4, 0.1, dtype=np.float32)}
+        interpret(func, arrays)
+        expected = np.float32(0.1) * np.arange(4, dtype=np.float32)
+        assert arrays["A"].tolist() == expected.tolist()
+
+    def test_missing_buffer_raises(self):
+        A = placeholder("A", (2,))
+        func = FuncOp("m", [A], Block([]))
+        with pytest.raises(KeyError, match="missing buffer"):
+            interpret(func, {})
