@@ -6,13 +6,16 @@ verifies the two sweeps return bit-identical designs, and records the
 wall times to ``BENCH_parallel.json`` at the repo root.
 
 The acceptance bar is >= 1.5x suite-wide wall-clock at ``--jobs 4``
-(target 2x) -- asserted only when the machine actually exposes more
-than one CPU to this process: shards can't run concurrently on one
-core, and pretending otherwise would record a fabricated measurement.
-The determinism half of the contract is asserted unconditionally.
+(target 2x) -- asserted whenever the machine has more than one core
+(``os.cpu_count() >= 2``): shards can't run concurrently on one core,
+and pretending otherwise would record a fabricated measurement.  Both
+the machine core count and the affinity-limited job count are recorded
+so a reader can tell a small machine from a pinned process.  The
+determinism half of the contract is asserted unconditionally.
 """
 
 import json
+import os
 import time
 from pathlib import Path
 
@@ -74,12 +77,14 @@ def test_dse_parallel_speedup(polybench_size, benchmark):
         name = shard.spec.workload
         assert _fingerprint(shard.result) == _fingerprint(sequential[name]), name
 
-    cpus = available_jobs()
+    cpus = os.cpu_count() or 1
+    affinity_jobs = available_jobs()
     ratio = sequential_s / parallel_s
     payload = {
         "size": polybench_size,
         "jobs": JOBS,
         "cpus": cpus,
+        "affinity_jobs": affinity_jobs,
         "sequential_s": round(sequential_s, 4),
         "parallel_s": round(parallel_s, 4),
         "speedup": round(ratio, 2),
@@ -97,11 +102,12 @@ def test_dse_parallel_speedup(polybench_size, benchmark):
     if cpus >= 2:
         assert ratio >= SPEEDUP_BAR, (
             f"parallel speedup {ratio:.2f}x below the {SPEEDUP_BAR}x bar "
-            f"at jobs={JOBS} on {cpus} CPUs"
+            f"at jobs={JOBS} on {cpus} CPUs "
+            f"({affinity_jobs} usable by this process)"
         )
     else:
         pytest.skip(
-            f"only {cpus} CPU available to this process: speedup bar "
+            f"single-core machine (os.cpu_count()={cpus}): speedup bar "
             f"not meaningful (measured {ratio:.2f}x, recorded to "
             f"{RESULT_PATH.name}); determinism was asserted above"
         )

@@ -44,6 +44,7 @@ _SUBMODULES = (
     "util",
     "cli",
     "fuzz",
+    "serve",
 )
 
 #: Top-level convenience re-exports: public name -> defining module.
@@ -62,6 +63,11 @@ _EXPORTS = {
     "simulate": "repro.affine",
     "interpret": "repro.affine",
     "CompiledKernel": "repro.affine",
+    # Compile server (DSE-as-a-service)
+    "ServeClient": "repro.serve",
+    "ServeConfig": "repro.serve",
+    "ReproServer": "repro.serve",
+    "SessionContext": "repro.serve",
     # Tracing and metrics
     "Tracer": "repro.trace",
     "tracing": "repro.trace",

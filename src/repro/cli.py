@@ -23,6 +23,7 @@ hidden deprecated aliases.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import warnings
 from typing import Callable, Dict, Optional
@@ -422,6 +423,52 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_fuzz_server(args, workloads, sizes) -> int:
+    """``repro fuzz --server URL``: run the campaign as a serve job.
+
+    The daemon executes the same deterministic campaign in a sandboxed
+    worker and this side prints the identical summary line, so the two
+    paths are interchangeable in scripts.
+    """
+    from repro.serve import ServeClient, ServerError
+
+    client = ServeClient(args.server)
+    if not client.health():
+        raise SystemExit(f"no repro serve daemon at {args.server}")
+    options = {"seed": args.seed, "trials": args.trials}
+    if args.max_directives != 6:
+        options["max_directives"] = args.max_directives
+    if args.time_budget is not None:
+        options["time_budget_s"] = args.time_budget
+    if workloads is not None:
+        options["workloads"] = list(workloads)
+    if sizes is not None:
+        options["sizes"] = list(sizes)
+    if args.jobs is not None:
+        options["jobs"] = args.jobs
+    try:
+        record = client.run(kind="fuzz", options=options)
+    except (ServerError, TimeoutError) as exc:
+        raise SystemExit(str(exc))
+    if record["status"] != "done":
+        detail = record.get("error") or record["status"]
+        code = record.get("code")
+        raise SystemExit(
+            f"fuzz job {record.get('job', '?')} {record['status']}"
+            + (f" [{code}]" if code else "") + f": {detail}"
+        )
+    summary = record["result"]["design"]
+    print(
+        f"fuzz campaign (via {args.server}): seed={summary['seed']} "
+        f"trials={summary['trials_run']}/{summary['trials_requested']} "
+        f"passed={summary['passed']} mismatches={summary['mismatches']} "
+        f"crashes={summary['crashes']}"
+    )
+    for failure in summary.get("failures", ()):
+        print(json.dumps(failure), file=sys.stderr)
+    return 1 if (summary["mismatches"] or summary["crashes"]) else 0
+
+
 def cmd_fuzz(args) -> int:
     """`repro fuzz`: differential fuzzing over the legal schedule space."""
     from repro import trace as trace_mod
@@ -437,6 +484,8 @@ def cmd_fuzz(args) -> int:
         if args.sizes
         else None
     )
+    if args.server:
+        return _cmd_fuzz_server(args, workloads, sizes)
     options = FuzzOptions(
         seed=args.seed,
         trials=args.trials,
@@ -479,6 +528,26 @@ def cmd_fuzz(args) -> int:
         for name in sorted(by_workload):
             print(f"  {name}: {by_workload[name]}")
     return 1 if campaign.failures else 0
+
+
+def cmd_serve(args) -> int:
+    """`repro serve`: the persistent fault-isolated compile daemon."""
+    from repro.serve.server import ServeConfig, run_server
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers if args.workers is not None else 2,
+        state_dir=args.state_dir,
+        queue_limit=args.queue_limit,
+        job_timeout_s=args.job_timeout,
+        drain_grace_s=args.drain_grace,
+    )
+    try:
+        config.validate()
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    return run_server(config)
 
 
 def cmd_experiment(args) -> int:
@@ -638,8 +707,51 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", metavar="DIR", default=None,
         help="write minimized repro scripts and summary.json here",
     )
+    fuzz_p.add_argument(
+        "--server", metavar="URL", default=None,
+        help="run the campaign on a `repro serve` daemon instead of "
+             "in-process (e.g. http://127.0.0.1:8573)",
+    )
     _add_run_flags(fuzz_p, jobs=True, stats=True, trace=True)
     fuzz_p.set_defaults(func=cmd_fuzz)
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the persistent compile server: DSE/verify/trace/fuzz jobs "
+             "over local HTTP+JSON with a warm content-addressed result store",
+    )
+    serve_p.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default: 127.0.0.1; this is a local daemon)",
+    )
+    serve_p.add_argument(
+        "--port", type=int, default=8573,
+        help="TCP port (default: 8573; 0 picks a free port)",
+    )
+    serve_p.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="sandboxed worker processes (default: 2)",
+    )
+    serve_p.add_argument(
+        "--state-dir", default=".repro-serve", metavar="DIR",
+        help="result store + job ledger + checkpoint journals "
+             "(default: .repro-serve)",
+    )
+    serve_p.add_argument(
+        "--queue-limit", type=int, default=8, metavar="N",
+        help="max pending jobs before 429 backpressure (default: 8)",
+    )
+    serve_p.add_argument(
+        "--job-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-job wall budget, fed to the engine's deadline machinery "
+             "(plus a hard kill for unresponsive workers)",
+    )
+    serve_p.add_argument(
+        "--drain-grace", type=float, default=5.0, metavar="SECONDS",
+        help="how long SIGTERM waits for running jobs before checkpointing "
+             "them for the next start (default: 5)",
+    )
+    serve_p.set_defaults(func=cmd_serve)
 
     experiment_p = sub.add_parser("experiment", help="regenerate a table/figure")
     experiment_p.add_argument("name", help="experiment id (e.g. table3) or 'all'")

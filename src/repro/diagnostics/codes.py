@@ -64,6 +64,14 @@ CODES: Dict[str, str] = {
     "FUZ002": "fuzz trial crashed before the differential comparison",
     "FUZ003": "minimized fuzz reproducer script written",
     "FUZ004": "fuzz time budget exhausted before requested trials completed",
+    # -- compile server ---------------------------------------------------
+    "SRV001": "invalid serve request rejected before queueing",
+    "SRV002": "job queue at capacity; request rejected with retry-after",
+    "SRV003": "job exceeded its wall-clock budget and was stopped",
+    "SRV004": "worker process died; job retried with backoff (faults disarmed)",
+    "SRV005": "corrupt result-store entry skipped during load",
+    "SRV006": "server draining; in-flight jobs checkpointed for restart",
+    "SRV007": "unfinished job recovered from the ledger and re-queued",
     # -- fallback --------------------------------------------------------
     "GEN001": "unclassified error",
 }

@@ -73,7 +73,7 @@ _SKEW_FACTORS = (-2, -1, 1, 2)
 _SHIFT_OFFSETS = (-2, -1, 1, 2, 3)
 _PIPELINE_IIS = (1, 2, 4)
 _UNROLL_FACTORS = (0, 2, 4)
-_PARTITION_KINDS = ("cyclic", "block")
+_PARTITION_KINDS = ("cyclic", "block", "complete")
 
 
 class _State:
@@ -139,8 +139,11 @@ def _propose(state: _State) -> Optional[Directive]:
                 break
             shared.append(a)
         level = rng.choice([None] + shared)
-        if level is None:
-            return After(stmt.name, other.name, None, structural=True)
+        if level is None or rng.random() < 0.5:
+            # ``After`` at a shared level is the same fusion family as
+            # ``Fuse`` but places this compute second; drawing both
+            # covers the ordered half of the fusion surface.
+            return After(stmt.name, other.name, level, structural=True)
         return Fuse(stmt.name, other.name, level, structural=True)
 
     stmt = state.pick_statement(exclude=state.fused if kind not in ("pipeline", "unroll") else None)

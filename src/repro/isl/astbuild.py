@@ -273,15 +273,16 @@ class AstBuilder:
         are memoized globally (both inputs are immutable and the result
         is a bool, which cannot diverge under constraint reordering).
         """
+        memo = _memo.active()
         key = None
-        if _memo.enabled():
+        if memo.enabled:
             key = (context, constraint)
-            cached = _memo.IMPLIED.get(key)
+            cached = memo.implied.get(key)
             if cached is not None:
                 return cached
         result = AstBuilder._implied_uncached(context, constraint)
         if key is not None:
-            _memo.IMPLIED.put(key, result)
+            memo.implied.put(key, result)
         return result
 
     @staticmethod

@@ -1,4 +1,4 @@
-"""Global memo tables for the hot isl kernels.
+"""Memo tables for the hot isl kernels, scoped to a :class:`MemoContext`.
 
 The integer-set library sits at the bottom of every lowering: each
 AST build projects domains with Fourier-Motzkin elimination, tests
@@ -6,7 +6,7 @@ emptiness, and derives loop bounds, and a DSE run re-lowers
 near-identical programs hundreds of times.  All of those kernels are
 pure functions of immutable inputs (:class:`~repro.isl.sets.BasicSet`
 and :class:`~repro.isl.constraint.Constraint` never mutate), so their
-results can be memoized globally and shared across lowerings.
+results can be memoized and shared across lowerings.
 
 Keys are *order-sensitive* structural tuples (dims + constraint tuples,
 not frozensets) for value-producing kernels: a given input always maps
@@ -15,24 +15,30 @@ and unmemoized runs stay bit-identical.  Boolean kernels (emptiness,
 implication) may key on order-insensitive forms since a bool cannot
 diverge.
 
-The tables can be disabled globally (``set_enabled(False)``) so the DSE
-engine's ``cache=False`` escape hatch measures genuinely uncached runs.
+The tables live on an explicit :class:`MemoContext` -- the same
+discipline as :class:`repro.isl.intern.InternContext` -- so the compile
+server (:mod:`repro.serve`) can give each session its own tables via
+:func:`activate`; concurrent clients then never share mutable memo
+state.  The default process-wide context preserves the historical
+behaviour: every worker process of the parallel DSE layer gets its own
+independent copy, either empty (``spawn``) or a snapshot of the
+parent's at fork time (``fork``).  Since memoized and unmemoized runs
+are bit-identical, a fresh or inherited table can only change speed,
+never results.
 
-"Global" means *process-local* module state: the tables live in this
-module's namespace, so every worker process of the parallel DSE layer
-(:mod:`repro.dse.parallel` -- sharded sweeps and speculative candidate
-evaluation) gets its own independent copy, either empty (``spawn``) or
-a snapshot of the parent's at fork time (``fork``).  No locking is
-needed and no cross-process coherence is assumed; since memoized and
-unmemoized runs are bit-identical, per-worker tables can only change
-speed, never results.
+The tables can be disabled per context (``set_enabled(False)``) so the
+DSE engine's ``cache=False`` escape hatch measures genuinely uncached
+runs.
+
+For backward compatibility the historical module-level names
+(``PROJECTION``, ``EMPTINESS``, ``BOUNDS``, ``IMPLIED``,
+``ALL_TABLES``) resolve against the *active* context via PEP 562;
+hot call sites fetch :func:`active` once instead.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Tuple
-
-_ENABLED = True
+from typing import Any, Dict, Tuple
 
 
 class MemoTable:
@@ -77,35 +83,96 @@ class MemoTable:
         self.misses = 0
 
 
-#: Fourier-Motzkin projection results: (dims, constraints, name) -> BasicSet.
-PROJECTION = MemoTable("projection")
-#: Rational emptiness results: BasicSet -> bool.
-EMPTINESS = MemoTable("emptiness")
-#: Loop-bound extraction: (dims, constraints, name, context) -> bounds.
-BOUNDS = MemoTable("bounds")
-#: AST-build implication tests: (context, constraint) -> bool.
-IMPLIED = MemoTable("implied")
+class MemoContext:
+    """One process/session worth of isl memo tables.
 
-ALL_TABLES = (PROJECTION, EMPTINESS, BOUNDS, IMPLIED)
+    * ``projection`` -- Fourier-Motzkin projection results:
+      ``(dims, constraints, name)`` -> ``BasicSet``;
+    * ``emptiness`` -- rational emptiness results: ``BasicSet`` -> bool;
+    * ``bounds`` -- loop-bound extraction:
+      ``(dims, constraints, name, context)`` -> bounds;
+    * ``implied`` -- AST-build implication tests:
+      ``(context, constraint)`` -> bool.
+
+    ``enabled`` gates all four at once (the DSE ``cache=False`` hatch).
+    A context is cheap to construct, so a compile-server session can own
+    a private one and :func:`activate` it around each request.
+    """
+
+    __slots__ = ("projection", "emptiness", "bounds", "implied", "enabled")
+
+    def __init__(self, cap: int = 65536):
+        self.projection = MemoTable("projection", cap)
+        self.emptiness = MemoTable("emptiness", cap)
+        self.bounds = MemoTable("bounds", cap)
+        self.implied = MemoTable("implied", cap)
+        self.enabled = True
+
+    def tables(self) -> Tuple[MemoTable, ...]:
+        return (self.projection, self.emptiness, self.bounds, self.implied)
+
+    def stats_snapshot(self) -> Dict[str, Tuple[int, int]]:
+        """Current (hits, misses) per table, keyed by table name."""
+        return {table.name: (table.hits, table.misses) for table in self.tables()}
+
+    def clear(self) -> None:
+        for table in self.tables():
+            table.clear()
+
+
+_ACTIVE = MemoContext()
+
+#: Module-level aliases resolved against the active context (PEP 562).
+_TABLE_ALIASES = {
+    "PROJECTION": "projection",
+    "EMPTINESS": "emptiness",
+    "BOUNDS": "bounds",
+    "IMPLIED": "implied",
+}
+
+
+def __getattr__(name: str):
+    attr = _TABLE_ALIASES.get(name)
+    if attr is not None:
+        return getattr(_ACTIVE, attr)
+    if name == "ALL_TABLES":
+        return _ACTIVE.tables()
+    raise AttributeError(f"module 'repro.isl.memo' has no attribute {name!r}")
+
+
+def active() -> MemoContext:
+    """The context the isl kernels memoize into."""
+    return _ACTIVE
+
+
+def activate(context: MemoContext) -> MemoContext:
+    """Install ``context`` as the active one; returns the previous.
+
+    The per-session seam: the compile server activates a session's memo
+    context around each request, exactly as
+    :func:`repro.isl.intern.activate` does for the intern tables.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = context
+    return previous
 
 
 def enabled() -> bool:
-    return _ENABLED
+    return _ACTIVE.enabled
 
 
 def set_enabled(flag: bool) -> bool:
-    """Enable/disable all isl memo tables; returns the previous setting."""
-    global _ENABLED
-    previous = _ENABLED
-    _ENABLED = bool(flag)
+    """Enable/disable the active context's tables; returns the previous."""
+    previous = _ACTIVE.enabled
+    _ACTIVE.enabled = bool(flag)
     return previous
 
 
 def stats_snapshot() -> Dict[str, Tuple[int, int]]:
-    """Current (hits, misses) per table, keyed by table name."""
-    return {table.name: (table.hits, table.misses) for table in ALL_TABLES}
+    """Current (hits, misses) per table of the active context."""
+    return _ACTIVE.stats_snapshot()
 
 
 def clear_all() -> None:
-    for table in ALL_TABLES:
-        table.clear()
+    _ACTIVE.clear()

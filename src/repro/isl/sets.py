@@ -187,17 +187,18 @@ class BasicSet:
         """
         if name not in self.dims:
             raise ValueError(f"unknown dimension {name!r}")
+        memo = _memo.active()
         key = None
-        if _memo.enabled():
+        if memo.enabled:
             key = (self.dims, self.constraints, name)
-            cached = _memo.PROJECTION.get(key)
+            cached = memo.projection.get(key)
             if cached is not None:
                 return cached
         constraints = _eliminate(list(self.constraints), name)
         remaining = tuple(d for d in self.dims if d != name)
         result = BasicSet(remaining, constraints)
         if key is not None:
-            _memo.PROJECTION.put(key, result)
+            memo.projection.put(key, result)
         return result
 
     def project_onto(self, keep: Sequence[str]) -> "BasicSet":
@@ -220,15 +221,16 @@ class BasicSet:
         :mod:`repro.isl.constraint`), which keeps the test exact for the
         loop-bound style sets this library manipulates.
         """
+        memo = _memo.active()
         key = None
-        if _memo.enabled():
+        if memo.enabled:
             key = self
-            cached = _memo.EMPTINESS.get(key)
+            cached = memo.emptiness.get(key)
             if cached is not None:
                 return cached
         result = self._is_empty_uncached()
         if key is not None:
-            _memo.EMPTINESS.put(key, result)
+            memo.emptiness.put(key, result)
         return result
 
     def _is_empty_uncached(self) -> bool:
@@ -253,10 +255,11 @@ class BasicSet:
         upper bound ``floor(e / -a)`` -- exactly how isl's ast_build
         derives loop bounds.
         """
+        memo = _memo.active()
         key = None
-        if _memo.enabled():
+        if memo.enabled:
             key = (self.dims, self.constraints, name, tuple(context))
-            cached = _memo.BOUNDS.get(key)
+            cached = memo.bounds.get(key)
             if cached is not None:
                 return list(cached[0]), list(cached[1])
         keep = list(context) + [name]
@@ -286,7 +289,7 @@ class BasicSet:
                         lowers.append(LoopBound(rest, -a, is_lower=True))
         lowers, uppers = _dedupe(lowers), _dedupe(uppers)
         if key is not None:
-            _memo.BOUNDS.put(key, (tuple(lowers), tuple(uppers)))
+            memo.bounds.put(key, (tuple(lowers), tuple(uppers)))
         return lowers, uppers
 
     def constant_bounds(self, name: str) -> Tuple[Optional[int], Optional[int]]:

@@ -1,0 +1,174 @@
+"""A stdlib-only client for the ``repro serve`` daemon.
+
+Used by the test suites, the CI smoke job, and ``repro fuzz --server``.
+Speaks the JSON API of :mod:`repro.serve.server`; :meth:`ServeClient.run`
+is the convenience most callers want -- submit, honour 429 backpressure
+by sleeping out the advertised ``Retry-After``, then long-poll to a
+terminal state.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Optional
+from urllib.error import HTTPError, URLError
+from urllib.request import Request, urlopen
+
+
+class ServerError(RuntimeError):
+    """A non-retryable error response from the daemon."""
+
+    def __init__(self, status: int, payload: dict):
+        code = payload.get("code")
+        detail = payload.get("error") or payload
+        super().__init__(f"HTTP {status}" + (f" [{code}]" if code else "") + f": {detail}")
+        self.status = status
+        self.code = code
+        self.payload = payload
+
+
+class ServeClient:
+    """Talks to one daemon at ``base_url`` (e.g. http://127.0.0.1:8573)."""
+
+    def __init__(self, base_url: str, timeout_s: float = 60.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    # -- transport -----------------------------------------------------
+
+    def request(self, method: str, path: str, body: Optional[dict] = None):
+        """One round trip; returns ``(status, payload)``."""
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        req = Request(self.base_url + path, data=data, headers=headers, method=method)
+        try:
+            with urlopen(req, timeout=self.timeout_s) as response:
+                return response.status, json.loads(response.read().decode("utf-8"))
+        except HTTPError as exc:
+            raw = exc.read().decode("utf-8", "replace")
+            try:
+                payload = json.loads(raw)
+            except ValueError:
+                payload = {"error": raw}
+            return exc.code, payload
+
+    def _expect(self, statuses, method, path, body=None):
+        status, payload = self.request(method, path, body)
+        if status not in statuses:
+            raise ServerError(status, payload)
+        return payload
+
+    # -- endpoints -----------------------------------------------------
+
+    def health(self) -> bool:
+        try:
+            status, _ = self.request("GET", "/healthz")
+        except URLError:
+            return False
+        return status == 200
+
+    def ready(self) -> bool:
+        try:
+            status, _ = self.request("GET", "/readyz")
+        except URLError:
+            return False
+        return status == 200
+
+    def wait_until_up(self, timeout_s: float = 10.0) -> bool:
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            if self.health():
+                return True
+            time.sleep(0.05)
+        return False
+
+    def status(self) -> dict:
+        return self._expect((200,), "GET", "/v1/status")
+
+    def open_session(self) -> str:
+        return self._expect((201,), "POST", "/v1/sessions")["session"]
+
+    def close_session(self, session_id: str) -> dict:
+        return self._expect((200,), "DELETE", f"/v1/sessions/{session_id}")
+
+    def submit(
+        self,
+        kind: str,
+        workload: Optional[str] = None,
+        size: Optional[int] = None,
+        options: Optional[dict] = None,
+        fault: Optional[dict] = None,
+        session: Optional[str] = None,
+        force: bool = False,
+    ):
+        """POST /v1/jobs; returns ``(status, payload)`` untranslated.
+
+        200 = warm cache hit (payload carries the result), 202 =
+        accepted (payload carries the job id), 429/503/400 = rejected.
+        """
+        body: dict = {"kind": kind}
+        if workload is not None:
+            body["workload"] = workload
+        if size is not None:
+            body["size"] = size
+        if options:
+            body["options"] = options
+        if fault:
+            body["fault"] = fault
+        if session:
+            body["session"] = session
+        if force:
+            body["force"] = True
+        return self.request("POST", "/v1/jobs", body)
+
+    def job(self, job_id: str, wait_s: Optional[float] = None) -> dict:
+        path = f"/v1/jobs/{job_id}"
+        if wait_s is not None:
+            path += f"?wait={wait_s:g}"
+        return self._expect((200,), "GET", path)
+
+    def events(self, job_id: str, since: int = 0) -> dict:
+        return self._expect((200,), "GET", f"/v1/jobs/{job_id}/events?since={since}")
+
+    def wait_done(self, job_id: str, timeout_s: float = 300.0) -> dict:
+        """Long-poll a job to a terminal status; raises on timeout."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(f"job {job_id} still running after {timeout_s}s")
+            record = self.job(job_id, wait_s=min(remaining, 10.0))
+            if record["status"] in ("done", "failed", "timeout", "interrupted"):
+                return record
+
+    def run(self, timeout_s: float = 300.0, **submit_kwargs) -> dict:
+        """Submit and wait, honouring 429 backpressure.
+
+        Returns a job-record-shaped dict; warm cache hits come back as
+        ``{"status": "done", "cached": True, "result": ...}``.
+        """
+        deadline = time.monotonic() + timeout_s
+        while True:
+            status, payload = self.submit(**submit_kwargs)
+            if status == 200:
+                return {
+                    "status": "done",
+                    "cached": True,
+                    "result": payload["result"],
+                    "fingerprint": payload.get("fingerprint"),
+                }
+            if status == 202:
+                return self.wait_done(
+                    payload["job"], timeout_s=max(0.1, deadline - time.monotonic())
+                )
+            if status == 429:
+                retry_after = float(payload.get("retry_after_s", 1.0))
+                if time.monotonic() + retry_after > deadline:
+                    raise ServerError(status, payload)
+                time.sleep(retry_after)
+                continue
+            raise ServerError(status, payload)

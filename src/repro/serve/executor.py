@@ -1,0 +1,495 @@
+"""Fault-isolated job execution: sandboxing, admission, retry, drain.
+
+Every job runs in its own worker **subprocess**: a crashing candidate
+(:class:`repro.faults.InjectedCrash` is a ``BaseException`` precisely
+so nothing in-process can swallow it) or a hard hang kills only that
+job's process, never the server or a sibling job.  This is also what
+makes session isolation trivial -- one session context active per
+process, ever.
+
+Admission control is a bounded queue: when ``queue_limit`` jobs are
+already pending, :meth:`JobExecutor.submit` raises :class:`QueueFull`
+(surfaced as HTTP 429 + ``Retry-After``, ``SRV002``) instead of
+accepting unbounded work.
+
+Failure policy, per attempt:
+
+* **worker death** (nonzero exit without a result) -- retried with
+  exponential backoff up to ``max_attempts``, fault spec disarmed and
+  the job's checkpoint journal resumed (``SRV004``), matching the
+  batch layer's chaos-resume idiom: the retried job converges to the
+  fault-free result;
+* **cooperative timeout** -- the job's wall budget feeds the engine's
+  own :class:`~repro.util.deadline.Deadline` machinery inside the
+  worker (DSE sweeps degrade gracefully); a worker that blows through
+  the cooperative budget by ``kill_grace_s`` is hard-killed and the job
+  fails with ``SRV003``, no retry;
+* **drain** (SIGTERM/SIGINT) -- no new admissions, running jobs get
+  ``drain_grace_s`` to finish, stragglers are terminated and left
+  *accepted-without-done* in the ledger (``SRV006``), so a restarted
+  server re-queues them (``SRV007``) and their journals resume.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue as _queue_mod
+import threading
+import time
+from typing import Dict, List, Optional
+
+from repro.serve.jobs import JobSpec, cache_key, execute_job
+from repro.serve.store import ResultStore
+
+#: Terminal job statuses.
+TERMINAL = ("done", "failed", "timeout", "interrupted")
+
+_JOB_IDS = itertools.count(1)
+
+
+class QueueFull(Exception):
+    """Admission rejected: the pending queue is at capacity (SRV002)."""
+
+    def __init__(self, limit: int, retry_after_s: float):
+        super().__init__(f"job queue full ({limit} pending)")
+        self.limit = limit
+        self.retry_after_s = retry_after_s
+
+
+class Draining(Exception):
+    """Admission rejected: the server is shutting down (SRV006)."""
+
+
+class Job:
+    """One admitted job's mutable record (guarded by the executor lock)."""
+
+    def __init__(self, job_id: str, spec: JobSpec, key: Optional[str]):
+        self.id = job_id
+        self.spec = spec
+        self.key = key
+        self.status = "queued"
+        self.attempts = 0
+        self.events: List[dict] = []
+        self.result: Optional[dict] = None
+        self.error: Optional[str] = None
+        self.code: Optional[str] = None
+        self.not_before = 0.0
+        self.created = time.monotonic()
+        self.started: Optional[float] = None
+        self.finished: Optional[float] = None
+
+    def add_event(self, event: dict) -> None:
+        event = dict(event)
+        event["seq"] = len(self.events)
+        self.events.append(event)
+
+    def as_dict(self) -> dict:
+        record = {
+            "job": self.id,
+            "kind": self.spec.kind,
+            "label": self.spec.label,
+            "status": self.status,
+            "attempts": self.attempts,
+            "events": len(self.events),
+        }
+        if self.code:
+            record["code"] = self.code
+        if self.error:
+            record["error"] = self.error
+        if self.result is not None:
+            record["result"] = self.result
+        if self.finished is not None and self.started is not None:
+            record["wall_s"] = round(self.finished - self.started, 6)
+        return record
+
+
+def _worker_main(request: dict, journal_path, arm_faults, job_timeout_s, channel):
+    """Worker-subprocess entry point: one job, one fresh session.
+
+    Puts ``("event", ...)`` progress messages, then exactly one of
+    ``("result", payload)`` or ``("error", {code?, message})``.  An
+    injected crash propagates (it is a BaseException) and kills the
+    process -- the monitor sees the nonzero exit, which is the point.
+    """
+    from repro.serve.session import SessionContext
+    from repro.util.deadline import DeadlineExceeded
+
+    spec = JobSpec.from_request(request)
+
+    def emit(event: dict) -> None:
+        try:
+            channel.put(("event", event))
+        except Exception:
+            pass
+
+    session = SessionContext()
+    try:
+        with session.activate():
+            payload = execute_job(
+                spec,
+                journal_path=journal_path,
+                arm_faults=arm_faults,
+                job_timeout_s=job_timeout_s,
+                emit=emit,
+            )
+        channel.put(("result", payload))
+    except DeadlineExceeded as exc:
+        channel.put(
+            (
+                "error",
+                {
+                    "code": "SRV003",
+                    "message": (
+                        f"job exceeded its {exc.budget_s:.3g}s budget "
+                        f"(elapsed {exc.elapsed_s:.3g}s)"
+                    ),
+                },
+            )
+        )
+    except Exception as exc:
+        channel.put(
+            ("error", {"message": f"{type(exc).__name__}: {exc}"})
+        )
+
+
+class _Running:
+    """Book-keeping for one live worker process."""
+
+    __slots__ = ("job", "process", "channel", "started", "staged")
+
+    def __init__(self, job, process, channel):
+        self.job = job
+        self.process = process
+        self.channel = channel
+        self.started = time.monotonic()
+        self.staged = None  # the ("result"|"error", payload) seen so far
+
+
+class JobExecutor:
+    """Runs jobs in sandboxed subprocesses off a bounded queue."""
+
+    def __init__(
+        self,
+        store: ResultStore,
+        workers: int = 2,
+        queue_limit: int = 8,
+        job_timeout_s: Optional[float] = None,
+        kill_grace_s: float = 10.0,
+        max_attempts: int = 3,
+        backoff_s: float = 0.05,
+        poll_s: float = 0.02,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if queue_limit < 1:
+            raise ValueError(f"queue_limit must be >= 1, got {queue_limit}")
+        self.store = store
+        self.workers = workers
+        self.queue_limit = queue_limit
+        self.job_timeout_s = job_timeout_s
+        self.kill_grace_s = kill_grace_s
+        self.max_attempts = max_attempts
+        self.backoff_s = backoff_s
+        self.poll_s = poll_s
+        from repro.util.pool import _context
+
+        self._ctx = _context()
+        self._lock = threading.Lock()
+        self._changed = threading.Condition(self._lock)
+        self._jobs: Dict[str, Job] = {}
+        self._pending: List[Job] = []
+        self._running: Dict[str, _Running] = {}
+        self._draining = False
+        self._stop = False
+        self._thread = threading.Thread(
+            target=self._monitor, name="serve-executor", daemon=True
+        )
+        self._thread.start()
+
+    # -- admission -----------------------------------------------------
+
+    def submit(
+        self,
+        spec: JobSpec,
+        job_id: Optional[str] = None,
+        ledger: bool = True,
+    ) -> Job:
+        """Admit one job; raises QueueFull/Draining on rejection.
+
+        ``job_id``/``ledger=False`` are the recovery path: re-queued
+        jobs keep their original id and already have a ledger line.
+        """
+        key = cache_key(spec) if spec.cacheable else None
+        with self._lock:
+            if self._draining or self._stop:
+                raise Draining("server is draining; try another instance")
+            if len(self._pending) >= self.queue_limit:
+                # Rough service-time hint: one queue drain at current depth.
+                retry_after = max(1.0, len(self._pending) * 0.5)
+                raise QueueFull(self.queue_limit, retry_after)
+            job = Job(job_id or f"job-{next(_JOB_IDS)}", spec, key)
+            self._jobs[job.id] = job
+            self._pending.append(job)
+            self._changed.notify_all()
+        if ledger:
+            self.store.job_accepted(job.id, spec, key)
+        return job
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def wait(self, job_id: str, timeout_s: Optional[float] = None) -> Optional[Job]:
+        """Block until the job reaches a terminal status (or timeout)."""
+        deadline = time.monotonic() + timeout_s if timeout_s is not None else None
+        with self._lock:
+            while True:
+                job = self._jobs.get(job_id)
+                if job is None or job.status in TERMINAL:
+                    return job
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return job
+                self._changed.wait(remaining if remaining is not None else 0.5)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "pending": len(self._pending),
+                "running": len(self._running),
+                "jobs": len(self._jobs),
+                "queue_limit": self.queue_limit,
+                "workers": self.workers,
+                "draining": self._draining,
+            }
+
+    # -- lifecycle -----------------------------------------------------
+
+    def drain(self, grace_s: float = 5.0) -> dict:
+        """Stop admitting, give running jobs ``grace_s``, checkpoint rest.
+
+        Returns counts of finished vs interrupted jobs.  Interrupted
+        and still-pending jobs keep their accepted-without-done ledger
+        state, so a restart re-queues them (SRV007) and their journals
+        resume.
+        """
+        with self._lock:
+            self._draining = True
+            self._changed.notify_all()
+        deadline = time.monotonic() + grace_s
+        while time.monotonic() < deadline:
+            with self._lock:
+                if not self._running:
+                    break
+            time.sleep(self.poll_s)
+        interrupted = 0
+        with self._lock:
+            for running in list(self._running.values()):
+                self._kill(running.process)
+                self._finalize_locked(
+                    running.job,
+                    "interrupted",
+                    code="SRV006",
+                    error="server draining: job checkpointed for restart",
+                    ledger=False,
+                )
+                del self._running[running.job.id]
+                interrupted += 1
+            for job in self._pending:
+                job.status = "interrupted"
+                job.code = "SRV006"
+                job.error = "server draining: job re-queued at next start"
+                interrupted += 1
+            self._pending.clear()
+            finished = sum(
+                1 for job in self._jobs.values() if job.status == "done"
+            )
+            self._changed.notify_all()
+        return {"finished": finished, "interrupted": interrupted}
+
+    def close(self) -> None:
+        with self._lock:
+            self._stop = True
+            self._changed.notify_all()
+        self._thread.join(timeout=5.0)
+        with self._lock:
+            for running in list(self._running.values()):
+                self._kill(running.process)
+            self._running.clear()
+
+    # -- monitor thread ------------------------------------------------
+
+    def _monitor(self) -> None:
+        while True:
+            with self._lock:
+                if self._stop:
+                    return
+                self._start_ready_locked()
+                self._poll_running_locked()
+            time.sleep(self.poll_s)
+
+    def _start_ready_locked(self) -> None:
+        now = time.monotonic()
+        index = 0
+        while self._pending and len(self._running) < self.workers:
+            if index >= len(self._pending):
+                break
+            job = self._pending[index]
+            if job.not_before > now:
+                index += 1
+                continue
+            self._pending.pop(index)
+            self._spawn_locked(job)
+
+    def _spawn_locked(self, job: Job) -> None:
+        job.attempts += 1
+        arm_faults = job.attempts == 1
+        journal_path = (
+            self.store.journal_path_for(job.key)
+            if job.key is not None and job.spec.kind == "dse"
+            else None
+        )
+        channel = self._ctx.Queue()
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(
+                job.spec.as_request(),
+                journal_path,
+                arm_faults,
+                self.job_timeout_s,
+                channel,
+            ),
+            daemon=False,
+        )
+        process.start()
+        job.status = "running"
+        if job.started is None:
+            job.started = time.monotonic()
+        job.add_event(
+            {"stage": "spawn", "attempt": job.attempts, "faults_armed": arm_faults}
+        )
+        self._running[job.id] = _Running(job, process, channel)
+        self._changed.notify_all()
+
+    def _poll_running_locked(self) -> None:
+        now = time.monotonic()
+        for running in list(self._running.values()):
+            job = running.job
+            self._drain_channel(running)
+            alive = running.process.is_alive()
+            if not alive:
+                # The feeder thread flushes before exit; one last drain
+                # picks up messages still in the pipe.
+                self._drain_channel(running, final=True)
+            if running.staged is not None:
+                kind, payload = running.staged
+                if not alive or kind == "result":
+                    del self._running[job.id]
+                    self._kill(running.process)
+                    if kind == "result":
+                        self._finalize_locked(job, "done", result=payload)
+                    else:
+                        status = (
+                            "timeout" if payload.get("code") == "SRV003" else "failed"
+                        )
+                        self._finalize_locked(
+                            job,
+                            status,
+                            code=payload.get("code"),
+                            error=payload.get("message"),
+                        )
+                continue
+            if not alive:
+                del self._running[job.id]
+                self._handle_crash_locked(job, running.process.exitcode)
+                continue
+            if self.job_timeout_s is not None:
+                budget = self.job_timeout_s + self.kill_grace_s
+                if now - running.started > budget:
+                    # Blew past the cooperative deadline: a genuine hang.
+                    self._kill(running.process)
+                    del self._running[job.id]
+                    self._finalize_locked(
+                        job,
+                        "timeout",
+                        code="SRV003",
+                        error=(
+                            f"worker unresponsive {budget:.3g}s after its "
+                            f"{self.job_timeout_s:.3g}s budget; killed"
+                        ),
+                    )
+
+    def _drain_channel(self, running: _Running, final: bool = False) -> None:
+        while True:
+            try:
+                message = running.channel.get(timeout=0.05) if final else (
+                    running.channel.get_nowait()
+                )
+            except (_queue_mod.Empty, OSError, EOFError):
+                return
+            kind, payload = message
+            if kind == "event":
+                running.job.add_event(payload)
+            else:
+                running.staged = (kind, payload)
+
+    def _handle_crash_locked(self, job: Job, exitcode) -> None:
+        if job.attempts < self.max_attempts and not self._draining:
+            backoff = self.backoff_s * (2 ** (job.attempts - 1))
+            job.not_before = time.monotonic() + backoff
+            job.status = "queued"
+            job.add_event(
+                {
+                    "stage": "retry",
+                    "code": "SRV004",
+                    "exitcode": exitcode,
+                    "backoff_s": round(backoff, 4),
+                }
+            )
+            self._pending.append(job)
+            self._changed.notify_all()
+            return
+        self._finalize_locked(
+            job,
+            "failed",
+            code="SRV004",
+            error=(
+                f"worker died (exit {exitcode}) on attempt {job.attempts}"
+                f"/{self.max_attempts}"
+            ),
+        )
+
+    def _finalize_locked(
+        self,
+        job: Job,
+        status: str,
+        result: Optional[dict] = None,
+        code: Optional[str] = None,
+        error: Optional[str] = None,
+        ledger: bool = True,
+    ) -> None:
+        job.status = status
+        job.result = result
+        job.code = code
+        job.error = error
+        job.finished = time.monotonic()
+        job.add_event({"stage": "finished", "status": status})
+        if status == "done" and job.key is not None and result is not None:
+            self.store.record(job.key, job.spec, result)
+        if ledger:
+            self.store.job_done(job.id, status)
+        self._changed.notify_all()
+
+    @staticmethod
+    def _kill(process) -> None:
+        try:
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=1.0)
+                if process.is_alive():
+                    process.kill()
+                    process.join(timeout=1.0)
+        except Exception:
+            pass

@@ -107,3 +107,22 @@ class TestCoverage:
             )
             for seed in range(20)
         )
+
+    def test_all_partition_kinds_drawn(self):
+        """The pool covers every kind ``Placeholder.partition`` accepts."""
+        kinds = set()
+        for seed in range(80):
+            for p in _generate("gemm", 8, seed).placeholders():
+                if p.partition_scheme is not None:
+                    kinds.add(p.partition_scheme.kind)
+        assert kinds == {"cyclic", "block", "complete"}
+
+    def test_leveled_after_drawn(self):
+        """``After`` at a shared loop level (not just outermost) is reachable."""
+        levels = set()
+        for seed in range(80):
+            for directive in _generate("bicg", 8, seed).schedule:
+                if isinstance(directive, After):
+                    levels.add(directive.level)
+        assert None in levels
+        assert levels - {None}, "sweep never drew a leveled After"

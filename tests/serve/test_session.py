@@ -1,0 +1,102 @@
+"""SessionContext contract: install, restore, isolate, and never change results."""
+
+import pytest
+
+from repro import trace as _trace
+from repro.dse import auto_dse
+from repro.dse.parallel import build_workload
+from repro.isl import intern as _intern
+from repro.isl import memo as _memo
+from repro.serve import SessionContext
+from repro.serve.jobs import design_fingerprint, dse_design_payload
+
+pytestmark = pytest.mark.serve
+
+
+class TestActivation:
+    def test_installs_private_tables_and_restores(self):
+        base_memo = _memo.active()
+        base_intern = _intern.active()
+        base_tracer = _trace.active()
+        session = SessionContext()
+        with session.activate():
+            assert _memo.active() is session.memo
+            assert _intern.active() is session.intern
+            assert _memo.active() is not base_memo
+            assert _intern.active() is not base_intern
+        assert _memo.active() is base_memo
+        assert _intern.active() is base_intern
+        assert _trace.active() is base_tracer
+
+    def test_nested_sessions_restore_in_order(self):
+        base = _memo.active()
+        outer, inner = SessionContext(), SessionContext()
+        with outer.activate():
+            with inner.activate():
+                assert _memo.active() is inner.memo
+            assert _memo.active() is outer.memo
+        assert _memo.active() is base
+
+    def test_exception_still_restores(self):
+        base_memo = _memo.active()
+        base_intern = _intern.active()
+        with pytest.raises(RuntimeError):
+            with SessionContext().activate():
+                raise RuntimeError("boom")
+        assert _memo.active() is base_memo
+        assert _intern.active() is base_intern
+
+    def test_session_tracer_installed(self):
+        tracer = _trace.Tracer()
+        session = SessionContext(tracer=tracer)
+        with session.activate():
+            assert _trace.active() is tracer
+        assert _trace.active() is not tracer
+
+    def test_jobs_run_counts_activations(self):
+        session = SessionContext()
+        for _ in range(3):
+            with session.activate():
+                pass
+        assert session.jobs_run == 3
+        assert session.stats()["jobs_run"] == 3
+
+
+class TestIsolation:
+    def test_compile_populates_session_not_global_tables(self):
+        base = _memo.active()
+        before = base.stats_snapshot()
+        session = SessionContext()
+        with session.activate():
+            function = build_workload("gemm", 32)
+            function.lower()
+            function.estimate()
+        # Everything the compile memoized landed in the session's tables.
+        session_totals = sum(
+            hits + misses
+            for hits, misses in session.memo.stats_snapshot().values()
+        )
+        assert session_totals > 0
+        assert base.stats_snapshot() == before
+        assert sum(session.intern.stats().values()) > 0
+
+    def test_two_sessions_do_not_share_tables(self):
+        a, b = SessionContext(), SessionContext()
+        with a.activate():
+            build_workload("gemm", 32).lower()
+        with b.activate():
+            assert sum(
+                h + m for h, m in _memo.active().stats_snapshot().values()
+            ) == 0
+
+
+class TestBitIdentity:
+    def test_fresh_session_dse_matches_global_context(self):
+        """Fresh tables change speed, never results (the serve promise)."""
+        name, size = "gemm", 48
+        batch = auto_dse(build_workload(name, size))
+        with SessionContext().activate():
+            served = auto_dse(build_workload(name, size))
+        assert design_fingerprint(
+            dse_design_payload(batch, name, size)
+        ) == design_fingerprint(dse_design_payload(served, name, size))

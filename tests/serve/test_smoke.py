@@ -1,0 +1,126 @@
+"""End-to-end daemon smoke: the CI serve-smoke scenario as a test.
+
+Boots the real ``repro serve`` daemon in a subprocess, drives it over
+HTTP with concurrent dse + verify jobs, SIGTERMs it mid-sweep, restarts
+it over the surviving state directory, and asserts the recovered job's
+design is bit-for-bit identical to a cold in-process batch run.
+"""
+
+import os
+import re
+import signal
+import subprocess
+import sys
+
+import pytest
+
+from repro.dse import auto_dse
+from repro.dse.parallel import build_workload
+from repro.serve import ServeClient
+from repro.serve.jobs import design_fingerprint, dse_design_payload
+
+pytestmark = pytest.mark.serve
+
+_LISTENING = re.compile(
+    r"listening on http://[\d.]+:(\d+) .*recovered=(\d+)"
+)
+
+
+def _batch_fingerprint(name, size):
+    result = auto_dse(build_workload(name, size))
+    return design_fingerprint(dse_design_payload(result, name, size))
+
+
+class _Daemon:
+    """One ``repro serve`` subprocess with its parsed address."""
+
+    def __init__(self, state_dir, *extra_args):
+        self.process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--state-dir", str(state_dir), "--workers", "2", *extra_args],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=os.environ.copy(),
+        )
+        banner = self.process.stdout.readline()
+        match = _LISTENING.search(banner)
+        if not match:
+            self.process.kill()
+            raise AssertionError(f"daemon failed to boot: {banner!r}")
+        self.port = int(match.group(1))
+        self.recovered = int(match.group(2))
+        self.client = ServeClient(f"http://127.0.0.1:{self.port}", timeout_s=60.0)
+
+    def terminate(self, timeout_s=30.0):
+        self.process.send_signal(signal.SIGTERM)
+        out, _ = self.process.communicate(timeout=timeout_s)
+        return out
+
+    def kill(self):
+        if self.process.poll() is None:
+            self.process.kill()
+            self.process.communicate(timeout=10)
+
+
+def test_daemon_smoke_concurrent_sigterm_restart_resume(tmp_path):
+    state_dir = tmp_path / "state"
+    batch = {
+        name: _batch_fingerprint(name, 48) for name in ("gemm", "bicg")
+    }
+
+    # Phase 1: boot, run dse + verify concurrently, check results.
+    daemon = _Daemon(state_dir, "--drain-grace", "0.1")
+    try:
+        client = daemon.client
+        assert client.wait_until_up(timeout_s=10)
+        status, dse_job = client.submit("dse", "gemm", 48)
+        assert status == 202
+        status, verify_job = client.submit("verify", "gemm", 48)
+        assert status == 202
+
+        dse_record = client.wait_done(dse_job["job"], timeout_s=120)
+        verify_record = client.wait_done(verify_job["job"], timeout_s=120)
+        assert dse_record["status"] == "done", dse_record
+        assert verify_record["status"] == "done", verify_record
+        assert (
+            design_fingerprint(dse_record["result"]["design"])
+            == batch["gemm"]
+        )
+        assert verify_record["result"]["design"]["ok"] is True
+
+        # Phase 2: submit a fresh sweep and SIGTERM mid-flight.  The
+        # 0.1s drain grace guarantees the job is checkpointed, not
+        # finished.
+        status, payload = client.submit("dse", "bicg", 48)
+        assert status == 202
+        interrupted_job = payload["job"]
+        out = daemon.terminate()
+        assert "drained and stopped" in out
+        assert daemon.process.returncode == 0
+    finally:
+        daemon.kill()
+
+    # Phase 3: restart over the surviving state directory; the ledger
+    # re-queues the interrupted job (SRV007) and its design must be
+    # bit-for-bit the cold batch result.
+    restarted = _Daemon(state_dir)
+    try:
+        assert restarted.recovered == 1
+        client = restarted.client
+        assert client.wait_until_up(timeout_s=10)
+        record = client.wait_done(interrupted_job, timeout_s=120)
+        assert record["status"] == "done", record
+        assert (
+            design_fingerprint(record["result"]["design"]) == batch["bicg"]
+        )
+
+        # The finished result is now a warm store hit.
+        status, payload = client.submit("dse", "bicg", 48)
+        assert status == 200
+        assert design_fingerprint(payload["result"]["design"]) == batch["bicg"]
+
+        out = restarted.terminate()
+        assert "drained and stopped" in out
+    finally:
+        restarted.kill()
