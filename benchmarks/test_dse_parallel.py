@@ -6,12 +6,15 @@ verifies the two sweeps return bit-identical designs, and records the
 wall times to ``BENCH_parallel.json`` at the repo root.
 
 The acceptance bar is >= 1.5x suite-wide wall-clock at ``--jobs 4``
-(target 2x) -- asserted whenever the machine has more than one core
-(``os.cpu_count() >= 2``): shards can't run concurrently on one core,
-and pretending otherwise would record a fabricated measurement.  Both
-the machine core count and the affinity-limited job count are recorded
-so a reader can tell a small machine from a pinned process.  The
-determinism half of the contract is asserted unconditionally.
+(target 2x) -- asserted whenever *this process* may run on more than
+one CPU (``available_jobs() >= 2``, i.e. the scheduler affinity mask,
+not ``os.cpu_count()``): shards can't run concurrently on one core,
+and a process pinned to a single core of a many-core box is still a
+one-core machine for speedup purposes -- gating on the raw core count
+made CI flake exactly there.  Both the machine core count and the
+affinity-limited job count are recorded so a reader can tell a small
+machine from a pinned process.  The determinism half of the contract
+is asserted unconditionally.
 """
 
 import json
@@ -88,7 +91,7 @@ def test_dse_parallel_speedup(polybench_size, benchmark):
         "sequential_s": round(sequential_s, 4),
         "parallel_s": round(parallel_s, 4),
         "speedup": round(ratio, 2),
-        "asserted": cpus >= 2,
+        "asserted": affinity_jobs >= 2,
         "per_workload": {
             name: {
                 "sequential_s": round(sequential_times[name], 4),
@@ -99,7 +102,7 @@ def test_dse_parallel_speedup(polybench_size, benchmark):
     }
     atomic_write(RESULT_PATH, json.dumps(payload, indent=2) + "\n")
     benchmark.extra_info.update(payload)
-    if cpus >= 2:
+    if affinity_jobs >= 2:
         assert ratio >= SPEEDUP_BAR, (
             f"parallel speedup {ratio:.2f}x below the {SPEEDUP_BAR}x bar "
             f"at jobs={JOBS} on {cpus} CPUs "
@@ -107,7 +110,8 @@ def test_dse_parallel_speedup(polybench_size, benchmark):
         )
     else:
         pytest.skip(
-            f"single-core machine (os.cpu_count()={cpus}): speedup bar "
-            f"not meaningful (measured {ratio:.2f}x, recorded to "
-            f"{RESULT_PATH.name}); determinism was asserted above"
+            f"process limited to one CPU (available_jobs()={affinity_jobs} "
+            f"of os.cpu_count()={cpus}): speedup bar not meaningful "
+            f"(measured {ratio:.2f}x, recorded to {RESULT_PATH.name}); "
+            f"determinism was asserted above"
         )

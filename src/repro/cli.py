@@ -229,6 +229,18 @@ def _resume_hint(args, checkpoint: str) -> str:
     return hint + f" --resume {checkpoint}"
 
 
+def _resolve_objective(args) -> str:
+    """Fold ``--pareto`` shorthand into the ``--objective`` spec."""
+    if args.pareto:
+        if args.objective != "single":
+            raise SystemExit(
+                "--pareto and --objective are mutually exclusive "
+                "(--pareto is shorthand for --objective pareto)"
+            )
+        return "pareto"
+    return args.objective
+
+
 def _cmd_dse_all(args) -> int:
     """`repro dse --all`: the sharded multi-workload sweep."""
     from repro import trace as trace_mod
@@ -243,6 +255,8 @@ def _cmd_dse_all(args) -> int:
         cache=not args.no_cache,
         candidate_timeout_s=args.candidate_timeout,
         time_budget_s=args.time_budget,
+        objective=_resolve_objective(args),
+        surrogate=not args.no_surrogate,
     )
     tracer = trace_mod.Tracer() if args.trace else None
     with trace_mod.tracing(tracer) if tracer else _null_context():
@@ -259,6 +273,12 @@ def _cmd_dse_all(args) -> int:
                 f"{shard.spec.label}: {result.evaluations} evaluations in "
                 f"{result.dse_time_s:.3f}s, tiles {result.tile_vectors()}{note}"
             )
+            if result.frontier is not None:
+                from repro.dse.pareto import frontier_summary, parse_objective
+
+                print(_indent(frontier_summary(
+                    result.frontier, parse_objective(result.objective)
+                )))
         else:
             print(f"{shard.spec.label}: FAILED: {shard.error}", file=sys.stderr)
     for label, candidate in sweep.quarantine:
@@ -308,6 +328,7 @@ def cmd_dse(args) -> int:
     from repro.diagnostics import DiagnosticError
     from repro.dse.options import DseOptions
 
+    objective = _resolve_objective(args)
     if args.all:
         return _cmd_dse_all(args)
     if args.workload is None:
@@ -322,6 +343,8 @@ def cmd_dse(args) -> int:
         candidate_timeout_s=args.candidate_timeout,
         time_budget_s=args.time_budget,
         jobs=args.jobs,
+        objective=objective,
+        surrogate=not args.no_surrogate,
     )
     tracer = trace_mod.Tracer() if args.trace else None
     try:
@@ -351,6 +374,10 @@ def cmd_dse(args) -> int:
         )
     print(f"tiles: {result.tile_vectors()}")
     print(result.report.summary())
+    if result.frontier is not None:
+        from repro.dse.pareto import frontier_summary, parse_objective
+
+        print(frontier_summary(result.frontier, parse_objective(objective)))
     if result.quarantine:
         print(f"quarantined {len(result.quarantine)} candidate(s):")
         for candidate in result.quarantine:
@@ -644,6 +671,22 @@ def build_parser() -> argparse.ArgumentParser:
     dse_p.add_argument(
         "--allow-degraded", action="store_true",
         help="exit 0 even when candidates were quarantined or a budget was hit",
+    )
+    dse_p.add_argument(
+        "--objective", metavar="SPEC", default="single",
+        help="objective spec: 'single' (default), 'pareto[:axes]' "
+             "(dominance-pruned frontier over latency/dsp/bram/lut/ff), "
+             "or 'weighted:axis=w,...' (frontier + weighted selection)",
+    )
+    dse_p.add_argument(
+        "--pareto", action="store_true",
+        help="shorthand for --objective pareto (latency,dsp frontier)",
+    )
+    dse_p.add_argument(
+        "--no-surrogate", action="store_true",
+        help="frontier modes: disable the surrogate ranker and the "
+             "provable-skip report copies; every grid candidate is "
+             "exactly estimated (the differential escape hatch)",
     )
     dse_p.set_defaults(func=cmd_dse)
 

@@ -15,6 +15,16 @@ from repro.dse.checkpoint import (
 )
 from repro.dse.engine import DseResult, QuarantinedCandidate, auto_dse
 from repro.dse.options import MAX_PARALLELISM, DseOptions
+from repro.dse.pareto import (
+    AXES,
+    Objective,
+    ParetoFrontier,
+    ParetoPoint,
+    dominates,
+    frontier_summary,
+    parse_objective,
+)
+from repro.dse.surrogate import SurrogateModel
 from repro.dse.stage1 import Stage1Plan, plan_stage1
 from repro.dse.stats import DseStats
 from repro.dse.parallel import (
@@ -61,4 +71,12 @@ __all__ = [
     "default_sweep_specs",
     "run_sharded_sweep",
     "shard_journal_path",
+    "AXES",
+    "Objective",
+    "ParetoFrontier",
+    "ParetoPoint",
+    "SurrogateModel",
+    "dominates",
+    "frontier_summary",
+    "parse_objective",
 ]

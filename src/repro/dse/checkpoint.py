@@ -133,6 +133,10 @@ class CheckpointJournal:
         self._fault_plan = fault_plan
         self._evals: Dict[str, dict] = {}
         self._latencies: Dict[str, Dict[str, int]] = {}
+        #: The last journaled frontier record (multi-objective sweeps),
+        #: loaded on resume so an interrupted sweep can cross-check the
+        #: frontier it reconstructs against the one it had published.
+        self.frontier_record: Optional[dict] = None
         self.replayable = 0
         self.skipped_lines = 0
 
@@ -216,6 +220,11 @@ class CheckpointJournal:
                         str(name): int(cycles)
                         for name, cycles in record["latencies"].items()
                     }
+                elif kind == "frontier":
+                    # Later records supersede earlier ones: a resumed
+                    # sweep re-publishes its frontier at the end, and
+                    # the freshest publication is the authoritative one.
+                    journal.frontier_record = record
                 elif kind != "header":
                     raise ValueError(f"unknown record kind {kind!r}")
             except (ValueError, KeyError, TypeError) as exc:
@@ -303,6 +312,24 @@ class CheckpointJournal:
             # reaches the disk -- the resume path must reconstruct the
             # sweep from exactly what was durably written.
             self._fault_plan.after_journal_append(ordinal)
+
+    def append_frontier(self, objective: str, points) -> None:
+        """Journal the published Pareto frontier of one sweep.
+
+        ``points`` is a sequence of JSON-safe records
+        (:meth:`repro.dse.pareto.ParetoPoint.to_record`).  Enrichment
+        evaluations are journaled as ordinary ``eval`` records, so a
+        resumed sweep reconstructs the same frontier from replays; this
+        record makes the published frontier directly inspectable and
+        lets resumed runs cross-check their reconstruction.
+        """
+        record = {
+            "kind": "frontier",
+            "objective": objective,
+            "points": list(points),
+        }
+        self.frontier_record = record
+        self._write_line(json.dumps(record, sort_keys=True))
 
     def append_latencies(self, key: str, latencies: Dict[str, int]) -> None:
         """Journal the per-node latency attribution of one design."""

@@ -68,6 +68,16 @@ from repro.dse.checkpoint import (
     workload_fingerprint,
 )
 from repro.dse.options import MAX_PARALLELISM, DseOptions
+from repro.dse.pareto import (
+    Objective,
+    ParetoFrontier,
+    ParetoPoint,
+)
+from repro.dse.surrogate import (
+    SurrogateModel,
+    candidate_features,
+    memo_hit_rate,
+)
 from repro.dse.stage1 import Stage1Plan, plan_stage1
 from repro.dse.stage2 import (
     NodeConfig,
@@ -201,6 +211,13 @@ class DseResult:
     #: ship these back for deterministic merging); None when the sweep
     #: ran under the caller's own tracer or with tracing off.
     trace: Optional[_trace.TraceData] = None
+    #: The canonical objective spec the sweep ran under ("single" keeps
+    #: the classic best-latency behavior and leaves `frontier` None).
+    objective: str = "single"
+    #: The dominance-pruned Pareto frontier, in canonical order
+    #: (objective vector, then candidate key), for "pareto"/"weighted"
+    #: objectives; see :mod:`repro.dse.pareto`.
+    frontier: Optional[List["ParetoPoint"]] = None
 
     @property
     def degraded(self) -> bool:
@@ -227,10 +244,16 @@ class DseResult:
 
     @property
     def parallelism(self) -> float:
-        """Product of tile sizes divided by achieved II (paper metric)."""
+        """Product of tile sizes divided by achieved II (paper metric).
+
+        The product runs over *all* node configs: a multi-kernel design's
+        parallelism is the product of its per-node tile products, not the
+        largest node's (taking the max under-reported every design with
+        more than one compute).
+        """
         total = 1
         for config in self.configs.values():
-            total = max(total, config.total_parallelism)
+            total *= config.total_parallelism
         ii = self.report.worst_ii() or 1
         return total / ii
 
@@ -304,6 +327,7 @@ def auto_dse(
     # scaling, estimator construction) can fail with a less precise
     # message or leave a side effect behind.
     options.validate()
+    objective = options.parsed_objective()
     start = time.perf_counter()
     device = options.device or XC7Z020
     resource_fraction = options.resource_fraction
@@ -416,6 +440,7 @@ def auto_dse(
                 function, device, budget, estimator, stats,
                 options.max_parallelism, options.keep_existing_schedule, cache,
                 engine, quarantine, resilience, speculator,
+                objective=objective, surrogate=options.surrogate,
             )
     finally:
         _isl_memo.set_enabled(isl_was_enabled)
@@ -435,7 +460,7 @@ def auto_dse(
     if tracer is not None:
         _publish_stats_metrics(tracer, stats)
 
-    report, configs, plan = result
+    report, configs, plan, frontier = result
     return DseResult(
         function=function,
         report=report,
@@ -448,6 +473,8 @@ def auto_dse(
         quarantine=quarantine,
         diagnostics=list(engine.diagnostics),
         journal_path=checkpoint,
+        objective=objective.canonical,
+        frontier=frontier,
     )
 
 
@@ -514,6 +541,10 @@ _STATS_METRICS = (
     ("config_cache_misses", "dse.cache.config.misses"),
     ("partition_cache_hits", "dse.cache.partitions.hits"),
     ("partition_cache_misses", "dse.cache.partitions.misses"),
+    ("pareto_candidates", "dse.pareto.candidates"),
+    ("pareto_evaluated", "dse.pareto.evaluated"),
+    ("surrogate_skips", "dse.pareto.surrogate_skips"),
+    ("frontier_size", "dse.pareto.frontier_size"),
 )
 
 
@@ -548,7 +579,14 @@ def _search(
     quarantine: List[QuarantinedCandidate],
     resilience: _Resilience,
     speculator=None,
-) -> Tuple[SynthesisReport, Dict[str, NodeConfig], Stage1Plan]:
+    objective: Optional[Objective] = None,
+    surrogate: bool = True,
+) -> Tuple[
+    SynthesisReport, Dict[str, NodeConfig], Stage1Plan,
+    Optional[List[ParetoPoint]],
+]:
+    if objective is None:
+        objective = Objective()
     journal = resilience.journal
     plan_hooks = resilience.fault_plan
     structural, saved_partitions = _prepare_function(
@@ -677,9 +715,15 @@ def _search(
             )
 
     def lower_and_estimate(
-        configs_fp: tuple, bank_cap: int
+        configs_fp: tuple, bank_cap: int, exact: bool = False
     ) -> Tuple[SynthesisReport, FuncOp]:
-        """Install partitions, lower, estimate -- with design-level reuse."""
+        """Install partitions, lower, estimate -- with design-level reuse.
+
+        ``exact=True`` bypasses the design-cache *read* (never the
+        write) so the estimator genuinely runs: the exhaustive
+        (``surrogate=False``) frontier pass uses it to make
+        ``stats.estimations`` an honest count of exact estimator calls.
+        """
         pkey = (configs_fp, bank_cap)
         derived = partitions_cache.get(pkey) if cache else None
         if derived is None:
@@ -694,7 +738,7 @@ def _search(
 
         partitions_fp = tuple(p.fingerprint() for p in function.placeholders())
         dkey = (configs_fp, partitions_fp)
-        if cache:
+        if cache and not exact:
             hit = design_cache.get(dkey)
             if hit is not None:
                 stats.design_cache_hits += 1
@@ -712,24 +756,49 @@ def _search(
             design_cache[dkey] = (report, func_op)
         return report, func_op
 
+    # -- multi-objective bookkeeping ----------------------------------------
+    # The ladder runs identically for every objective (single-objective
+    # results stay bit-identical); frontier modes additionally remember
+    # every scored candidate and every distinct parallelism vector, in
+    # visit order, so the post-ladder enrichment pass can complete the
+    # (visited parallelism) x (bank cap) grid deterministically.
+    scored: Dict[str, Tuple[Dict[str, int], int, SynthesisReport]] = {}
+    visited_pars: List[Dict[str, int]] = []
+    _seen_pars: set = set()
+
+    def note_scored(
+        par: Dict[str, int], bank_cap: int, report: SynthesisReport
+    ) -> None:
+        if not objective.wants_frontier:
+            return
+        frozen = tuple(sorted(par.items()))
+        if frozen not in _seen_pars:
+            _seen_pars.add(frozen)
+            visited_pars.append(dict(par))
+        jkey = candidate_key(par, bank_cap)
+        if jkey not in scored:
+            scored[jkey] = (dict(par), bank_cap, report)
+
     def evaluate(
         par: Dict[str, int],
         bank_cap: int = 128,
         force: bool = False,
         remote=None,
+        exact: bool = False,
     ) -> Tuple[SynthesisReport, Dict[str, NodeConfig], Optional[FuncOp]]:
         stats.evaluations += 1
         configs = {name: node_config(name, par[name]) for name in nodes}
         configs_fp = tuple(configs[name].fingerprint() for name in nodes)
         ekey = (configs_fp, bank_cap)
-        if cache and not force:
+        if cache and not force and not exact:
             hit = eval_cache.get(ekey)
             if hit is not None:
                 stats.eval_cache_hits += 1
+                note_scored(par, bank_cap, hit[0])
                 return hit
             stats.eval_cache_misses += 1
         jkey = candidate_key(par, bank_cap)
-        if journal is not None and not force:
+        if journal is not None and not force and not exact:
             record = journal.replay(jkey)
             if record is not None:
                 # Resumed sweep: this candidate was already scored before
@@ -740,6 +809,7 @@ def _search(
                 report = journal.report_from(
                     record, function.name, device, estimator.clock_ns
                 )
+                note_scored(par, bank_cap, report)
                 return report, configs, None
         ordinal = stats.candidates
         stats.candidates += 1
@@ -778,6 +848,7 @@ def _search(
             result = (remote.report, configs, None)
             if cache:
                 eval_cache[ekey] = result
+            note_scored(par, bank_cap, remote.report)
             return result
         if plan_hooks is not None:
             plan_hooks.enter_candidate(ordinal)
@@ -786,7 +857,9 @@ def _search(
             with _trace.span("dse.candidate", "dse", span_args):
                 with candidate_deadline():
                     _install_schedule(function, plan, configs, structural, program)
-                    report, func_op = lower_and_estimate(configs_fp, bank_cap)
+                    report, func_op = lower_and_estimate(
+                        configs_fp, bank_cap, exact=exact
+                    )
         finally:
             if plan_hooks is not None:
                 plan_hooks.exit_candidate()
@@ -798,6 +871,7 @@ def _search(
         result = (report, configs, func_op)
         if cache:
             eval_cache[ekey] = result
+        note_scored(par, bank_cap, report)
         return result
 
     # The degree-1 baseline must evaluate: without it there is no legal
@@ -810,6 +884,9 @@ def _search(
     except Exception as exc:
         raise DiagnosticError(_diagnostic_of(exc)) from exc
     best = (report, configs, dict(parallelism), 128)
+    # The degree-1 design is the latency normalizer for weighted
+    # objectives (the worst latency the ladder ever accepts).
+    baseline_report = report
 
     # Fused statements share one pipeline, so they step together: the
     # optimization unit is the fusion group of the bottleneck node.
@@ -1035,13 +1112,198 @@ def _search(
             "sweep interrupted; stopping at the best design found so far",
         )
 
+    # -- frontier enrichment (objective="pareto"/"weighted") ----------------
+    # The ladder above ran exactly as it does for "single" (its
+    # trajectory, journal records, and best design are bit-identical);
+    # frontier modes now complete the (visited parallelism) x (bank cap)
+    # grid so latency-vs-resource tradeoffs the ladder rejected (or
+    # never tried at smaller bank caps) become frontier candidates.
+    frontier_points: Optional[List[ParetoPoint]] = None
+    if objective.wants_frontier and not stats.interrupted:
+        frontier = ParetoFrontier()
+        with _trace.span("dse.pareto", "dse"):
+            grid: List[Tuple[Dict[str, int], int, str]] = []
+            for par in visited_pars:
+                for cap in BANK_CAPS:
+                    grid.append((par, cap, candidate_key(par, cap)))
+            stats.pareto_candidates += len(grid)
+            pending = [entry for entry in grid if entry[2] not in scored]
+
+            # Provable skips (surrogate mode only): a pending candidate
+            # whose *design signature* -- node-config fingerprints plus
+            # the partition factors derived at its bank cap -- matches
+            # an already-scored design lowers to the bit-identical
+            # design, so its report is copied instead of estimated.
+            # Signature equality is the only skip condition; the
+            # surrogate model merely orders the exact evaluations, which
+            # is why the frontier is provably identical with the
+            # surrogate on or off (the differential suite pins this).
+            sig_partitions: Dict[tuple, Dict[str, Tuple[int, ...]]] = {}
+
+            def design_signature(par: Dict[str, int], cap: int) -> tuple:
+                sig_configs = {
+                    name: node_config(name, par[name]) for name in nodes
+                }
+                sig_fp = tuple(
+                    sig_configs[name].fingerprint() for name in nodes
+                )
+                pkey = (sig_fp, cap)
+                derived = sig_partitions.get(pkey)
+                if derived is None:
+                    derived = partitions_cache.get(pkey) if cache else None
+                    if derived is None:
+                        _install_schedule(
+                            function, plan, sig_configs, structural, program
+                        )
+                        derived = derive_partitions(function, max_banks=cap)
+                    sig_partitions[pkey] = derived
+                return (
+                    sig_fp,
+                    tuple(
+                        sorted(
+                            (name, tuple(factors))
+                            for name, factors in derived.items()
+                        )
+                    ),
+                )
+
+            def total_par(par: Dict[str, int]) -> int:
+                total = 1
+                for degree in par.values():
+                    total *= degree
+                return total
+
+            iteration_volume = 0
+            for compute in function.computes:
+                volume = 1
+                for it in compute.iters:
+                    volume *= it.extent
+                iteration_volume += volume
+            hit_rate = memo_hit_rate(_isl_memo.stats_snapshot())
+
+            if surrogate:
+                sig_to_report: Dict[tuple, SynthesisReport] = {}
+                for skey in scored:
+                    spar, scap, sreport = scored[skey]
+                    sig_to_report.setdefault(
+                        design_signature(spar, scap), sreport
+                    )
+                model = SurrogateModel(
+                    axes=objective.axes, weights=objective.weights
+                )
+                for skey in scored:
+                    spar, scap, sreport = scored[skey]
+                    model.observe(
+                        candidate_features(
+                            total_par(spar), scap, iteration_volume, hit_rate
+                        ),
+                        objective.vector(sreport),
+                    )
+                ordered = model.rank(
+                    [
+                        (
+                            entry,
+                            candidate_features(
+                                total_par(entry[0]), entry[1],
+                                iteration_volume, hit_rate,
+                            ),
+                        )
+                        for entry in pending
+                    ]
+                )
+            else:
+                ordered = pending
+
+            try:
+                for par, cap, jkey in ordered:
+                    if (
+                        resilience.sweep_deadline is not None
+                        and resilience.sweep_deadline.exceeded()
+                    ):
+                        if not stats.time_budget_hit:
+                            stats.time_budget_hit = True
+                            engine.note(
+                                "DSE004",
+                                f"sweep time budget "
+                                f"({resilience.sweep_deadline.budget_s:.1f}s) "
+                                "exhausted; publishing the partial frontier",
+                            )
+                        break
+                    if surrogate:
+                        signature = design_signature(par, cap)
+                        donor = sig_to_report.get(signature)
+                        if donor is not None:
+                            # Bit-identical design already scored: copy
+                            # its report.  Journaled (ordinal unchanged:
+                            # no real evaluation started) so a resumed
+                            # sweep replays the copy too.
+                            stats.surrogate_skips += 1
+                            note_scored(par, cap, donor)
+                            if journal is not None:
+                                journal.append_eval(
+                                    stats.candidates, jkey, par, cap,
+                                    report=donor, elapsed_s=0.0,
+                                )
+                            continue
+                    try:
+                        enriched_report, _, _ = evaluate(
+                            par, cap, exact=not surrogate
+                        )
+                    except KeyboardInterrupt:
+                        raise
+                    except Exception as exc:
+                        quarantine_candidate(exc, par, cap)
+                        continue
+                    stats.pareto_evaluated += 1
+                    if surrogate:
+                        sig_to_report.setdefault(signature, enriched_report)
+            except KeyboardInterrupt:
+                stats.interrupted = True
+                engine.note(
+                    "DSE007",
+                    "sweep interrupted; publishing the partial frontier",
+                )
+
+            for par, cap, jkey in grid:
+                entry = scored.get(jkey)
+                if entry is None:
+                    continue
+                if not _within_budget(entry[2], budget):
+                    continue
+                frontier.insert(
+                    ParetoPoint.from_report(jkey, par, cap, objective, entry[2])
+                )
+            frontier_points = frontier.points()
+            stats.frontier_size += len(frontier_points)
+            if journal is not None:
+                journal.append_frontier(
+                    objective.canonical, frontier.to_records()
+                )
+
+        if objective.mode == "weighted" and frontier_points:
+            # Select the frontier member minimizing the normalized
+            # weighted sum; it becomes the installed design.
+            reference = objective.reference_vector(baseline_report, budget)
+            selected = min(
+                frontier_points,
+                key=lambda p: (
+                    objective.scalarize(p.values, reference), p.key,
+                ),
+            )
+            sel_par = dict(selected.parallelism)
+            sel_configs = {
+                name: node_config(name, sel_par[name]) for name in nodes
+            }
+            best = (scored[selected.key][2], sel_configs, sel_par,
+                    selected.bank_cap)
+
     # Reinstall the best schedule (the last trial may have been rejected).
     report, configs, best_cap = best[0], best[1], best[3]
     with _trace.span("dse.finalize", "dse"):
         _install_schedule(function, plan, configs, structural, program)
         configs_fp = tuple(configs[name].fingerprint() for name in nodes)
         report, _ = lower_and_estimate(configs_fp, best_cap)
-    return report, configs, plan
+    return report, configs, plan, frontier_points
 
 
 def _prepare_function(function: Function, keep_existing_schedule: bool):

@@ -41,7 +41,14 @@ class DseOptions:
       ``cache``;
     * **resilience**: ``checkpoint``, ``resume``,
       ``candidate_timeout_s``, ``time_budget_s``, ``fault_plan``;
-    * **parallelism**: ``jobs`` (speculative candidate evaluation).
+    * **parallelism**: ``jobs`` (speculative candidate evaluation);
+    * **objective**: ``objective`` (a spec string parsed by
+      :func:`repro.dse.pareto.parse_objective` -- ``"single"``,
+      ``"pareto[:axes]"``, or ``"weighted:axis=w,..."``) and
+      ``surrogate`` (whether Pareto enrichment may copy reports for
+      provably-identical designs and rank the rest with the analytic
+      surrogate; ``False`` forces exhaustive exact estimation -- the
+      escape hatch the differential suite diffs against).
 
     Instances are plain data: picklable (given a picklable
     ``fault_plan``) and reusable across calls.
@@ -59,6 +66,8 @@ class DseOptions:
     time_budget_s: Optional[float] = None
     fault_plan: Optional[object] = None
     jobs: Optional[int] = None
+    objective: str = "single"
+    surrogate: bool = True
 
     def validate(self) -> "DseOptions":
         """Raise on any function-independent misconfiguration.
@@ -88,7 +97,19 @@ class DseOptions:
             )
         if self.jobs is not None and self.jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        # Late import: pareto depends on hls.report only, but keeping
+        # the import local means `repro.dse.options` stays importable
+        # from the pareto module itself without a cycle.
+        from repro.dse.pareto import parse_objective
+
+        parse_objective(self.objective)
         return self
+
+    def parsed_objective(self):
+        """The validated :class:`~repro.dse.pareto.Objective`."""
+        from repro.dse.pareto import parse_objective
+
+        return parse_objective(self.objective)
 
     def replace(self, **changes) -> "DseOptions":
         """A copy with ``changes`` applied (dataclasses.replace sugar)."""

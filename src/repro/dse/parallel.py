@@ -343,6 +343,8 @@ class ShardSpec:
     fault_plan: Optional[object] = None
     jobs: int = 1  # speculation inside this shard (auto_dse(jobs=...))
     trace: bool = False  # record a worker-side trace, shipped on the result
+    objective: str = "single"  # objective spec (repro.dse.pareto)
+    surrogate: bool = True  # frontier modes: allow provable-skip copies
 
     def to_options(self) -> DseOptions:
         """This shard's engine configuration as one :class:`DseOptions`."""
@@ -356,6 +358,8 @@ class ShardSpec:
             time_budget_s=self.time_budget_s,
             fault_plan=self.fault_plan,
             jobs=self.jobs if self.jobs > 1 else None,
+            objective=self.objective,
+            surrogate=self.surrogate,
         )
 
     @property

@@ -45,6 +45,12 @@ class DseStats:
     speculative_submitted: int = 0  # candidate evaluations sent to workers
     speculative_used: int = 0     # worker results committed by the search
 
+    # -- multi-objective (objective="pareto"/"weighted") --------------------
+    pareto_candidates: int = 0    # frontier-enrichment grid members considered
+    pareto_evaluated: int = 0     # enrichment candidates exactly estimated
+    surrogate_skips: int = 0      # enrichment reports copied (design-identical)
+    frontier_size: int = 0        # frontier members returned
+
     # -- cache layers -------------------------------------------------------
     eval_cache_hits: int = 0      # (configs, bank_cap) evaluation reuse
     eval_cache_misses: int = 0
@@ -145,6 +151,15 @@ class DseStats:
             f" (from checkpoint journal)",
             f"  speculation        {self.speculative_used}/{self.speculative_submitted}"
             f" used (workers: {self.speculation_jobs})",
+        ]
+        if self.pareto_candidates:
+            lines.append(
+                f"  pareto             {self.frontier_size} frontier designs"
+                f" ({self.pareto_evaluated} estimated,"
+                f" {self.surrogate_skips} copied"
+                f" of {self.pareto_candidates} grid candidates)"
+            )
+        lines += [
             "  cache layer            hits   misses   hit-rate",
             f"    evaluation         {self.eval_cache_hits:6d} {self.eval_cache_misses:8d}"
             f"   {rate(self.eval_cache_hits, self.eval_cache_misses):>8}",

@@ -1,0 +1,170 @@
+"""An analytic surrogate ranker for Pareto-mode candidate ordering.
+
+When the engine enriches a sweep into a frontier (``objective="pareto"``
+or ``"weighted"``), the grid of (parallelism vector, bank cap)
+candidates left to score can be large.  Two cost-avoidance mechanisms
+apply, and only the first may skip exact estimation:
+
+* **Provable skips** (engine-side): a candidate whose *design
+  signature* -- node-config fingerprints plus derived partition factors
+  -- equals an already-scored design is bit-identical by construction,
+  so its report is copied instead of re-estimated.  This is the only
+  skip path; it cannot change the frontier.
+* **Surrogate ordering** (this module): the remaining candidates are
+  evaluated in predicted-quality order, so a sweep that dies at its
+  time budget has spent the estimator on the most promising designs
+  first.  Ordering never changes *which* candidates are scored in an
+  unbudgeted sweep -- the differential suite pins frontier identity
+  with the surrogate on and off.
+
+The model is a tiny least-squares fit in log space, per objective axis,
+over features already available mid-sweep (no extra estimator calls):
+
+* log2 of the candidate's total parallelism (product over nodes);
+* log2 of the bank cap (memory-port pressure proxy);
+* the workload's iteration volume (op-count proxy, log2);
+* the sweep's aggregate isl memo hit rate so far (how much structure
+  repeats -- a constant per sweep, it biases the intercept only).
+
+With fewer than :data:`MIN_SAMPLES` observations (or without numpy) the
+model falls back to a fixed analytic heuristic: latency falls with
+parallelism and rises as the bank cap shrinks; resources do the
+opposite.  The fallback keeps ordering deterministic, which is all
+correctness requires.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+try:  # numpy ships with the toolchain, but the fallback keeps us honest
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via NUMPY_OK=False tests
+    _np = None
+
+#: Minimum observations before the least-squares fit replaces the
+#: analytic fallback.
+MIN_SAMPLES = 3
+
+#: Human-readable feature names, in column order (docs/pareto.md).
+FEATURE_NAMES = (
+    "intercept",
+    "log2_total_parallelism",
+    "log2_bank_cap",
+    "log2_iteration_volume",
+    "memo_hit_rate",
+)
+
+
+def candidate_features(
+    total_parallelism: int,
+    bank_cap: int,
+    iteration_volume: int,
+    memo_hit_rate: float,
+) -> Tuple[float, ...]:
+    """The feature row of one candidate (see :data:`FEATURE_NAMES`)."""
+    return (
+        1.0,
+        math.log2(max(1, total_parallelism)),
+        math.log2(max(1, bank_cap)),
+        math.log2(max(1, iteration_volume)),
+        float(memo_hit_rate),
+    )
+
+
+def memo_hit_rate(isl_counters: Dict[str, Tuple[int, int]]) -> float:
+    """Aggregate hit rate across the isl memo tables (0.0 when cold)."""
+    hits = sum(h for h, _ in isl_counters.values())
+    misses = sum(m for _, m in isl_counters.values())
+    total = hits + misses
+    return hits / total if total else 0.0
+
+
+# The analytic fallback's per-axis coefficients over FEATURE_NAMES:
+# latency improves (falls) with parallelism and degrades as banking
+# shrinks; resource axes grow with parallelism.  Magnitudes only order
+# candidates, they are not predictions.
+_FALLBACK = {
+    "latency": (0.0, -1.0, -0.5, 1.0, 0.0),
+    "dsp": (0.0, 1.0, 0.5, 0.0, 0.0),
+    "bram": (0.0, 0.5, 1.0, 0.0, 0.0),
+    "lut": (0.0, 1.0, 0.5, 0.0, 0.0),
+    "ff": (0.0, 1.0, 0.5, 0.0, 0.0),
+}
+
+
+@dataclass
+class SurrogateModel:
+    """A per-sweep ranker: fit on scored candidates, rank the rest.
+
+    One instance lives inside one ``auto_dse`` call; axes match the
+    sweep's :class:`~repro.dse.pareto.Objective`.
+    """
+
+    axes: Tuple[str, ...]
+    weights: Tuple[float, ...]
+    _rows: List[Tuple[float, ...]] = field(default_factory=list)
+    _targets: List[Tuple[float, ...]] = field(default_factory=list)
+    _coefficients: Optional[List[Tuple[float, ...]]] = None
+
+    def observe(
+        self, features: Sequence[float], values: Sequence[int]
+    ) -> None:
+        """Record one scored candidate (objective vector in axis order)."""
+        self._rows.append(tuple(features))
+        self._targets.append(
+            tuple(math.log2(max(1, value)) for value in values)
+        )
+        self._coefficients = None  # refit lazily
+
+    @property
+    def fitted(self) -> bool:
+        """Whether enough samples exist for the least-squares fit."""
+        return _np is not None and len(self._rows) >= MIN_SAMPLES
+
+    def _fit(self) -> List[Tuple[float, ...]]:
+        if self._coefficients is not None:
+            return self._coefficients
+        if not self.fitted:
+            self._coefficients = [
+                _FALLBACK.get(axis, _FALLBACK["lut"]) for axis in self.axes
+            ]
+            return self._coefficients
+        matrix = _np.asarray(self._rows, dtype=float)
+        targets = _np.asarray(self._targets, dtype=float)
+        solution, _, _, _ = _np.linalg.lstsq(matrix, targets, rcond=None)
+        self._coefficients = [
+            tuple(float(c) for c in solution[:, i])
+            for i in range(len(self.axes))
+        ]
+        return self._coefficients
+
+    def predict(self, features: Sequence[float]) -> Tuple[float, ...]:
+        """Predicted log2 objective vector for one candidate."""
+        coefficients = self._fit()
+        return tuple(
+            sum(c * f for c, f in zip(axis_coeffs, features))
+            for axis_coeffs in coefficients
+        )
+
+    def score(self, features: Sequence[float]) -> float:
+        """A single promise score (lower = evaluate sooner)."""
+        prediction = self.predict(features)
+        return sum(w * p for w, p in zip(self.weights, prediction))
+
+    def rank(
+        self, candidates: Sequence[Tuple[object, Sequence[float]]]
+    ) -> List[object]:
+        """Order ``(item, features)`` pairs by predicted promise.
+
+        The tie-break is the original index, so equal scores preserve
+        canonical grid order and the ranking stays deterministic.
+        """
+        scored = [
+            (self.score(features), index, item)
+            for index, (item, features) in enumerate(candidates)
+        ]
+        scored.sort(key=lambda entry: (entry[0], entry[1]))
+        return [item for _, _, item in scored]

@@ -12,6 +12,7 @@ from repro.evaluation import (
     fig13,
     fig14,
     fig15,
+    pareto_front,
     table3,
     table4,
     table5,
@@ -32,6 +33,7 @@ ALL_EXPERIMENTS = {
     "table7": table7,
     "fig14": fig14,
     "fig15": fig15,
+    "pareto_front": pareto_front,
 }
 
 __all__ = ["ALL_EXPERIMENTS", "RunResult", "run_framework", "format_table"]

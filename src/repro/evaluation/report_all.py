@@ -34,6 +34,7 @@ QUICK_ARGS: Dict[str, dict] = {
     "table4": {"size": 256},
     "fig11": {"size": 256},
     "table6": {"size": 256},
+    "pareto_front": {"size": 256},
 }
 
 

@@ -26,17 +26,30 @@ class FPGADevice:
         """The same device with every budget scaled by ``fraction``.
 
         Used to vary resource constraints as in the paper's Fig. 11.
+        Raises if ``fraction`` is so small that a nonzero budget
+        truncates to zero: a zero budget rejects every design, which
+        used to surface far away as an inscrutable "no feasible
+        candidate" DSE failure instead of at the misconfiguration.
         """
         if not 0.0 < fraction <= 1.0:
             raise ValueError(f"fraction must be in (0, 1], got {fraction}")
-        return replace(
-            self,
-            name=f"{self.name}@{fraction:.0%}",
-            dsp=int(self.dsp * fraction),
-            lut=int(self.lut * fraction),
-            ff=int(self.ff * fraction),
-            bram_bits=int(self.bram_bits * fraction),
+        budgets = {
+            "dsp": int(self.dsp * fraction),
+            "lut": int(self.lut * fraction),
+            "ff": int(self.ff * fraction),
+            "bram_bits": int(self.bram_bits * fraction),
+        }
+        truncated = sorted(
+            axis
+            for axis, scaled_value in budgets.items()
+            if scaled_value == 0 and getattr(self, axis) > 0
         )
+        if truncated:
+            raise ValueError(
+                f"fraction {fraction!r} truncates nonzero budget(s) to zero "
+                f"on {self.name}: {', '.join(truncated)}"
+            )
+        return replace(self, name=f"{self.name}@{fraction:.0%}", **budgets)
 
 
 XC7Z020 = FPGADevice(

@@ -10,10 +10,16 @@ terminal state.
 from __future__ import annotations
 
 import json
+import random
 import time
 from typing import Optional
 from urllib.error import HTTPError, URLError
 from urllib.request import Request, urlopen
+
+#: Backpressure sleeps are stretched by up to this fraction, uniformly
+#: at random, so a herd of clients rejected together does not re-submit
+#: in lockstep and re-stampede the queue.
+BACKOFF_JITTER_FRACTION = 0.25
 
 
 class ServerError(RuntimeError):
@@ -31,9 +37,17 @@ class ServerError(RuntimeError):
 class ServeClient:
     """Talks to one daemon at ``base_url`` (e.g. http://127.0.0.1:8573)."""
 
-    def __init__(self, base_url: str, timeout_s: float = 60.0):
+    def __init__(
+        self,
+        base_url: str,
+        timeout_s: float = 60.0,
+        rng: Optional[random.Random] = None,
+    ):
         self.base_url = base_url.rstrip("/")
         self.timeout_s = timeout_s
+        # Injectable so tests pin the backpressure jitter; per-instance
+        # (not the module RNG) so concurrent clients stay independent.
+        self._rng = rng if rng is not None else random.Random()
 
     # -- transport -----------------------------------------------------
 
@@ -167,8 +181,16 @@ class ServeClient:
                 )
             if status == 429:
                 retry_after = float(payload.get("retry_after_s", 1.0))
-                if time.monotonic() + retry_after > deadline:
+                remaining = deadline - time.monotonic()
+                if retry_after >= remaining:
+                    # The advertised wait would blow the caller's
+                    # deadline: fail now rather than sleep into a
+                    # guaranteed timeout.
                     raise ServerError(status, payload)
-                time.sleep(retry_after)
+                # Bounded jitter (never shrinking the advertised wait,
+                # never sleeping past the deadline) de-synchronizes
+                # clients that were rejected together.
+                jitter = 1.0 + self._rng.random() * BACKOFF_JITTER_FRACTION
+                time.sleep(min(retry_after * jitter, remaining))
                 continue
             raise ServerError(status, payload)

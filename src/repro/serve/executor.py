@@ -36,7 +36,8 @@ import itertools
 import queue as _queue_mod
 import threading
 import time
-from typing import Dict, List, Optional
+from collections import deque
+from typing import Deque, Dict, List, Optional
 
 from repro.serve.jobs import JobSpec, cache_key, execute_job
 from repro.serve.store import ResultStore
@@ -199,6 +200,10 @@ class JobExecutor:
         self._jobs: Dict[str, Job] = {}
         self._pending: List[Job] = []
         self._running: Dict[str, _Running] = {}
+        # Recent per-job wall times (started -> finished), feeding the
+        # 429 Retry-After estimate.  Bounded so one pathological job
+        # ages out instead of skewing admission hints forever.
+        self._service_times: Deque[float] = deque(maxlen=16)
         self._draining = False
         self._stop = False
         self._thread = threading.Thread(
@@ -223,10 +228,16 @@ class JobExecutor:
         with self._lock:
             if self._draining or self._stop:
                 raise Draining("server is draining; try another instance")
+            # Jobs can reach a terminal status while still listed as
+            # pending (finalized out-of-band, e.g. during a drain/retry
+            # race).  They represent no queued work, so they must not
+            # count against the admission limit or inflate Retry-After.
+            self._pending = [
+                pending for pending in self._pending
+                if pending.status not in TERMINAL
+            ]
             if len(self._pending) >= self.queue_limit:
-                # Rough service-time hint: one queue drain at current depth.
-                retry_after = max(1.0, len(self._pending) * 0.5)
-                raise QueueFull(self.queue_limit, retry_after)
+                raise QueueFull(self.queue_limit, self._retry_after_locked())
             job = Job(job_id or f"job-{next(_JOB_IDS)}", spec, key)
             self._jobs[job.id] = job
             self._pending.append(job)
@@ -234,6 +245,24 @@ class JobExecutor:
         if ledger:
             self.store.job_accepted(job.id, spec, key)
         return job
+
+    def _retry_after_locked(self) -> float:
+        """Advertised 429 back-off: one queue drain at current depth.
+
+        Extrapolates from the median of recently observed service
+        times across the genuinely outstanding backlog (pending +
+        running) and the worker count.  Before any job has completed
+        there is nothing to extrapolate from, so fall back to a fixed
+        per-slot heuristic; either way the hint stays in [1, 30]
+        seconds so clients neither busy-spin nor give up.
+        """
+        backlog = len(self._pending) + len(self._running)
+        if not self._service_times:
+            return max(1.0, len(self._pending) * 0.5)
+        ordered = sorted(self._service_times)
+        median = ordered[len(ordered) // 2]
+        estimate = median * backlog / max(1, self.workers)
+        return min(30.0, max(1.0, estimate))
 
     def get(self, job_id: str) -> Optional[Job]:
         with self._lock:
@@ -475,6 +504,8 @@ class JobExecutor:
         job.code = code
         job.error = error
         job.finished = time.monotonic()
+        if job.started is not None:
+            self._service_times.append(job.finished - job.started)
         job.add_event({"stage": "finished", "status": status})
         if status == "done" and job.key is not None and result is not None:
             self.store.record(job.key, job.spec, result)

@@ -46,6 +46,8 @@ _OPTION_KEYS = {
         "candidate_timeout_s",
         "time_budget_s",
         "jobs",
+        "objective",
+        "surrogate",
     ),
     "verify": (),
     "trace": ("dse",),
@@ -258,6 +260,15 @@ def dse_design_payload(result, workload: str, size: Optional[int]) -> dict:
         "power_w": result.report.power_w,
         "tile_vectors": result.tile_vectors(),
         "schedule": schedule,
+        "objective": result.objective,
+        # Frontier modes: the dominance-pruned Pareto set, already in
+        # canonical order, lands in the content-addressed store with
+        # the design (the serve-vs-batch differential compares it too).
+        "frontier": (
+            [point.to_record() for point in result.frontier]
+            if result.frontier is not None
+            else None
+        ),
     }
 
 

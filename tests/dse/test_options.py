@@ -156,6 +156,7 @@ class TestDataclassSurface:
             "device", "resource_fraction", "clock_ns", "max_parallelism",
             "keep_existing_schedule", "cache", "checkpoint", "resume",
             "candidate_timeout_s", "time_budget_s", "fault_plan", "jobs",
+            "objective", "surrogate",
         } == names
 
     def test_exported_from_package_roots(self):

@@ -1,0 +1,148 @@
+"""Differential suite: Pareto frontiers are mode-independent.
+
+The determinism contract of :mod:`repro.dse.pareto`: the frontier is a
+pure function of the scored candidate set, so every sweep mode that
+scores the same candidates -- surrogate-guided or exhaustive, cached or
+uncached, sequential or sharded, fresh or resumed from a checkpoint
+journal, fault-injected or clean -- reconstructs a bit-identical
+frontier.  This suite runs each mode pair and compares, in the style of
+``tests/dse/test_reference_differential.py``.
+
+It also pins the other half of the contract: turning the frontier
+machinery *on* must not change the classic single-objective result
+(the ladder trajectory is shared; enrichment only adds evaluations
+after it).
+"""
+
+import pytest
+
+from repro.dse import auto_dse
+from repro.dse.options import DseOptions
+from repro.dse.parallel import (
+    build_workload,
+    default_sweep_specs,
+    run_sharded_sweep,
+)
+from repro.faults import Fault, FaultPlan
+from repro.workloads import polybench
+
+WORKLOADS = ("gemm", "bicg", "mm2", "mm3", "gesummv")
+SIZE = 16
+
+
+def _frontier(result):
+    assert result.frontier is not None, "frontier mode returned no frontier"
+    return [point.to_record() for point in result.frontier]
+
+
+def _run(name, **changes):
+    options = DseOptions(**{"objective": "pareto", "cache": False, **changes})
+    return auto_dse(getattr(polybench, name)(SIZE), options=options)
+
+
+class TestSurrogateParity:
+    """The tentpole guarantee: surrogate on == exhaustive, bit for bit."""
+
+    @pytest.mark.parametrize("name", WORKLOADS)
+    def test_frontier_identical_surrogate_on_off(self, name):
+        guided = _run(name, surrogate=True)
+        exhaustive = _run(name, surrogate=False)
+        assert _frontier(guided) == _frontier(exhaustive)
+        assert guided.report == exhaustive.report
+        assert guided.tile_vectors() == exhaustive.tile_vectors()
+
+    def test_surrogate_actually_skips_work(self):
+        guided = _run("gemm", surrogate=True)
+        exhaustive = _run("gemm", surrogate=False)
+        assert guided.stats.surrogate_skips > 0
+        assert guided.stats.estimations < exhaustive.stats.estimations
+
+    @pytest.mark.parametrize("name", WORKLOADS)
+    def test_weighted_selects_a_frontier_member(self, name):
+        result = _run(name, objective="weighted:latency=1,dsp=0.25")
+        records = _frontier(result)
+        selected = (
+            result.report.total_cycles,
+            result.report.resources.dsp,
+        )
+        assert selected in [(r["cycles"], r["dsp"]) for r in records]
+
+
+class TestCacheParity:
+    @pytest.mark.parametrize("name", WORKLOADS)
+    def test_cached_matches_uncached(self, name):
+        uncached = _run(name, cache=False)
+        cached = _run(name, cache=True)
+        assert _frontier(cached) == _frontier(uncached)
+
+
+class TestResumedParity:
+    def test_resumed_sweep_reconstructs_the_frontier(self, tmp_path):
+        journal = tmp_path / "pareto.jsonl"
+        first = _run("gemm", checkpoint=str(journal))
+        resumed = _run("gemm", checkpoint=str(journal), resume=True)
+        assert _frontier(resumed) == _frontier(first)
+        assert resumed.report == first.report
+        # The resumed run replays candidates instead of re-estimating.
+        assert resumed.stats.replayed > 0
+
+    def test_resumed_weighted_selects_identically(self, tmp_path):
+        journal = tmp_path / "weighted.jsonl"
+        spec = "weighted:latency=1,dsp=0.5"
+        first = _run("mm2", objective=spec, checkpoint=str(journal))
+        resumed = _run(
+            "mm2", objective=spec, checkpoint=str(journal), resume=True
+        )
+        assert _frontier(resumed) == _frontier(first)
+        assert resumed.report == first.report
+        assert resumed.tile_vectors() == first.tile_vectors()
+
+
+class TestShardedParity:
+    @pytest.mark.parallel
+    def test_sharded_matches_sequential(self):
+        sweep = run_sharded_sweep(
+            default_sweep_specs(size=SIZE, objective="pareto"), jobs=2
+        )
+        assert sweep.ok, sweep.failures
+        for shard in sweep.shards:
+            sequential = auto_dse(
+                build_workload(shard.spec.workload, SIZE),
+                options=DseOptions(objective="pareto", cache=True),
+            )
+            assert _frontier(shard.result) == _frontier(sequential), (
+                shard.spec.workload
+            )
+
+
+class TestFaultInjectedParity:
+    @pytest.mark.resilience
+    def test_transient_faults_converge_to_the_clean_frontier(self):
+        clean = _run("gemm")
+        plan = FaultPlan([Fault("transient", 2, count=2)])
+        faulted = _run("gemm", fault_plan=plan)
+        assert plan.fired, "fault plan never fired; test is vacuous"
+        assert _frontier(faulted) == _frontier(clean)
+
+
+class TestSingleObjectiveUnchanged:
+    @pytest.mark.parametrize("name", WORKLOADS)
+    def test_pareto_mode_returns_the_single_mode_design(self, name):
+        single = auto_dse(
+            getattr(polybench, name)(SIZE), options=DseOptions(cache=False)
+        )
+        pareto = _run(name)
+        assert pareto.report == single.report
+        assert pareto.tile_vectors() == single.tile_vectors()
+        assert [d.fingerprint() for d in pareto.schedule] == [
+            d.fingerprint() for d in single.schedule
+        ]
+
+    def test_single_mode_has_no_frontier_and_no_enrichment(self):
+        result = auto_dse(
+            polybench.gemm(SIZE), options=DseOptions(cache=False)
+        )
+        assert result.objective == "single"
+        assert result.frontier is None
+        assert result.stats.pareto_candidates == 0
+        assert result.stats.surrogate_skips == 0

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.evaluation import ALL_EXPERIMENTS, fig2, table3
+from repro.evaluation import ALL_EXPERIMENTS, fig2, pareto_front, table3
 from repro.evaluation.frameworks import (
     FRAMEWORKS,
     fmt_tiles,
@@ -62,6 +62,7 @@ class TestExperimentRegistry:
         expected = {
             "fig2", "table3", "fig11", "table4", "fig12",
             "table5", "table6", "fig13", "table7", "fig14", "fig15",
+            "pareto_front",
         }
         assert set(ALL_EXPERIMENTS) == expected
 
@@ -84,3 +85,10 @@ class TestSmallScaleExperiments:
         results = table3.run(size=32, benchmarks=("gemm",))
         text = table3.render(results)
         assert "gemm" in text
+
+    def test_pareto_front_small(self):
+        results = pareto_front.run(size=32, workloads=("gemm",))
+        text = pareto_front.render(results)
+        assert "Pareto frontiers" in text
+        assert results["gemm"].frontier, "pareto mode must yield a frontier"
+        assert "gemm" in text and "#1" in text

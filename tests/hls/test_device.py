@@ -36,6 +36,40 @@ class TestScaling:
             XC7Z020.scaled(0.0)
         with pytest.raises(ValueError):
             XC7Z020.scaled(1.5)
+        with pytest.raises(ValueError):
+            XC7Z020.scaled(-0.5)
+
+    def test_tiny_fraction_rejected_not_truncated(self):
+        # 220 DSPs * 1e-3 truncates to 0: historically this produced a
+        # budget that rejects every design and surfaced as a confusing
+        # "no feasible candidate" far downstream.  Now it's immediate.
+        with pytest.raises(ValueError, match="truncates nonzero budget"):
+            XC7Z020.scaled(1e-3)
+
+    def test_tiny_fraction_diagnostic_names_axes(self):
+        with pytest.raises(ValueError, match="dsp"):
+            XC7Z020.scaled(1e-3)
+        # At 1e-6 even the LUT/FF/BRAM budgets truncate.
+        with pytest.raises(ValueError, match="bram_bits.*dsp.*ff.*lut"):
+            XC7Z020.scaled(1e-8)
+
+    def test_smallest_viable_fraction_boundary(self):
+        # 1/220 is the smallest fraction keeping every XC7Z020 budget
+        # nonzero; just below it the DSP budget hits zero.
+        smallest = 1.0 / XC7Z020.dsp
+        scaled = XC7Z020.scaled(smallest)
+        assert scaled.dsp == 1
+        assert scaled.lut > 0 and scaled.ff > 0 and scaled.bram_bits > 0
+        with pytest.raises(ValueError, match="dsp"):
+            XC7Z020.scaled(smallest * 0.99)
+
+    def test_zero_budget_axis_on_source_device_is_allowed(self):
+        # An axis that is already zero on the source device cannot be
+        # "truncated" -- only nonzero budgets trip the diagnostic.
+        no_dsp = FPGADevice(name="softcore", dsp=0, lut=1000, ff=1000,
+                            bram_bits=1000)
+        scaled = no_dsp.scaled(0.5)
+        assert scaled.dsp == 0 and scaled.lut == 500
 
     def test_frozen(self):
         with pytest.raises(Exception):

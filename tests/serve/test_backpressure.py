@@ -1,0 +1,183 @@
+"""Backpressure contract: client backoff and the server's Retry-After.
+
+Client side (:meth:`ServeClient.run`): a 429 whose advertised wait
+would blow the caller's deadline fails *now* instead of sleeping into a
+guaranteed timeout; shorter waits sleep the advertised time stretched
+by bounded jitter (never shrunk, never past the deadline) so a herd of
+rejected clients doesn't re-stampede the queue in lockstep.
+
+Server side (:class:`JobExecutor`): the admission check and the
+Retry-After hint count only *genuinely pending* jobs -- a job that
+reached a terminal status while still listed as pending is pruned --
+and the hint extrapolates from recently observed service times once
+any job has completed.
+"""
+
+import random
+import time
+
+import pytest
+
+from repro.serve.client import BACKOFF_JITTER_FRACTION, ServeClient, ServerError
+from repro.serve.executor import JobExecutor, QueueFull
+from repro.serve.jobs import JobSpec
+from repro.serve.store import ResultStore
+
+pytestmark = pytest.mark.serve
+
+
+def _busy_payload():
+    return {"code": "SRV002", "error": "job queue full", "retry_after_s": 5.0}
+
+
+class _ScriptedClient(ServeClient):
+    """A ServeClient whose submit() returns canned responses."""
+
+    def __init__(self, responses, rng=None):
+        super().__init__("http://127.0.0.1:1", timeout_s=1.0, rng=rng)
+        self._responses = list(responses)
+        self.submissions = 0
+
+    def submit(self, **kwargs):
+        self.submissions += 1
+        return self._responses.pop(0)
+
+
+class _FixedRng(random.Random):
+    def __init__(self, value):
+        super().__init__(0)
+        self._value = value
+
+    def random(self):
+        return self._value
+
+
+class TestClientBackoff:
+    def test_retry_after_beyond_deadline_raises_immediately(self, monkeypatch):
+        sleeps = []
+        monkeypatch.setattr(time, "sleep", sleeps.append)
+        client = _ScriptedClient([(429, _busy_payload())])
+        with pytest.raises(ServerError) as excinfo:
+            client.run(timeout_s=2.0, kind="verify", workload="gemm", size=32)
+        assert excinfo.value.code == "SRV002"
+        assert sleeps == [], "must fail fast, not sleep into a timeout"
+        assert client.submissions == 1
+
+    def test_sleep_is_advertised_wait_stretched_by_jitter(self, monkeypatch):
+        sleeps = []
+        monkeypatch.setattr(time, "sleep", sleeps.append)
+        done = (200, {"result": {"ok": True}, "fingerprint": "fp"})
+        client = _ScriptedClient(
+            [(429, _busy_payload()), done], rng=_FixedRng(0.5)
+        )
+        record = client.run(
+            timeout_s=60.0, kind="verify", workload="gemm", size=32
+        )
+        assert record["status"] == "done"
+        assert sleeps == [5.0 * (1.0 + 0.5 * BACKOFF_JITTER_FRACTION)]
+
+    def test_jitter_never_shrinks_the_advertised_wait(self, monkeypatch):
+        sleeps = []
+        monkeypatch.setattr(time, "sleep", sleeps.append)
+        done = (200, {"result": {"ok": True}, "fingerprint": "fp"})
+        client = _ScriptedClient(
+            [(429, _busy_payload()), done], rng=_FixedRng(0.0)
+        )
+        client.run(timeout_s=60.0, kind="verify", workload="gemm", size=32)
+        assert sleeps == [5.0]
+
+    def test_sleep_is_clamped_to_the_remaining_deadline(self, monkeypatch):
+        sleeps = []
+        monkeypatch.setattr(time, "sleep", sleeps.append)
+        done = (200, {"result": {"ok": True}, "fingerprint": "fp"})
+        client = _ScriptedClient(
+            [(429, _busy_payload()), done], rng=_FixedRng(1.0)
+        )
+        # Deadline leaves 6s; the stretched wait (5 * 1.25 = 6.25s)
+        # must be clamped to what remains.
+        client.run(timeout_s=6.0, kind="verify", workload="gemm", size=32)
+        assert len(sleeps) == 1
+        assert sleeps[0] <= 6.0
+        assert sleeps[0] >= 5.0
+
+
+def _spec(size=64):
+    return JobSpec.from_request(
+        {"kind": "verify", "workload": "gemm", "size": size}
+    )
+
+
+@pytest.fixture
+def frozen_executor(tmp_path):
+    executor = JobExecutor(
+        ResultStore(str(tmp_path)), workers=1, queue_limit=2
+    )
+    # Freeze the scheduler so admitted jobs stay pending.
+    executor._start_ready_locked = lambda: None
+    yield executor
+    executor.close()
+
+
+class TestExecutorRetryAfter:
+    def test_queue_full_with_no_history_hints_at_least_one_second(
+        self, frozen_executor
+    ):
+        frozen_executor.submit(_spec(1))
+        frozen_executor.submit(_spec(2))
+        with pytest.raises(QueueFull) as excinfo:
+            frozen_executor.submit(_spec(3))
+        assert excinfo.value.retry_after_s >= 1.0
+
+    def test_terminal_jobs_in_pending_are_pruned_from_admission(
+        self, frozen_executor
+    ):
+        frozen_executor.submit(_spec(1))
+        stale = frozen_executor.submit(_spec(2))
+        # Simulate a job finalized out-of-band while still queued: it
+        # must stop counting against the limit and the Retry-After.
+        with frozen_executor._lock:
+            stale.status = "done"
+        admitted = frozen_executor.submit(_spec(3))
+        assert admitted.status == "queued"
+        with frozen_executor._lock:
+            assert stale not in frozen_executor._pending
+            assert len(frozen_executor._pending) == 2
+
+    def test_hint_scales_with_observed_service_times(self, frozen_executor):
+        frozen_executor._service_times.extend([2.0, 4.0, 6.0])
+        frozen_executor.submit(_spec(1))
+        frozen_executor.submit(_spec(2))
+        with pytest.raises(QueueFull) as excinfo:
+            frozen_executor.submit(_spec(3))
+        # median 4s * backlog 2 / 1 worker = 8s.
+        assert excinfo.value.retry_after_s == pytest.approx(8.0)
+
+    def test_hint_is_clamped_to_a_sane_range(self, frozen_executor):
+        frozen_executor._service_times.extend([100.0, 100.0, 100.0])
+        frozen_executor.submit(_spec(1))
+        frozen_executor.submit(_spec(2))
+        with pytest.raises(QueueFull) as excinfo:
+            frozen_executor.submit(_spec(3))
+        assert excinfo.value.retry_after_s == 30.0
+
+        frozen_executor._service_times.clear()
+        frozen_executor._service_times.extend([0.001, 0.001, 0.001])
+        with pytest.raises(QueueFull) as excinfo:
+            frozen_executor.submit(_spec(4))
+        assert excinfo.value.retry_after_s == 1.0
+
+    def test_finalize_records_service_time(self, tmp_path):
+        executor = JobExecutor(
+            ResultStore(str(tmp_path)), workers=1, queue_limit=2
+        )
+        try:
+            job = executor.submit(_spec(32))
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                if executor.wait(job.id, timeout_s=1.0).status == "done":
+                    break
+            assert job.status == "done"
+            assert len(executor._service_times) == 1
+            assert executor._service_times[0] > 0.0
+        finally:
+            executor.close()

@@ -127,6 +127,39 @@ def test_drain_restart_resume_matches_batch(serve_factory, batch_designs):
     )
 
 
+def test_pareto_dse_jobs_match_batch_frontier(serve_factory):
+    """Frontier mode through HTTP: payload carries the exact batch frontier."""
+    name, size = "gemm", 48
+    options = {"objective": "pareto"}
+    from repro.dse.options import DseOptions
+
+    batch = auto_dse(
+        build_workload(name, size), options=DseOptions(objective="pareto")
+    )
+    batch_payload = dse_design_payload(batch, name, size)
+    assert batch_payload["frontier"], "batch frontier must be non-empty"
+
+    _server, client = serve_factory(subdir="pareto")
+    record = client.run(
+        kind="dse", workload=name, size=size, options=options, timeout_s=120
+    )
+    assert record["status"] == "done", record
+    design = record["result"]["design"]
+    assert design["objective"] == "pareto:latency,dsp"
+    assert design["frontier"] == batch_payload["frontier"]
+    assert design_fingerprint(design) == design_fingerprint(batch_payload)
+
+    # Warm store hit returns the identical frontier; a different
+    # objective is a different cache key and misses.
+    status, payload = client.submit("dse", name, size, options=options)
+    assert status == 200
+    assert payload["result"]["design"]["frontier"] == batch_payload["frontier"]
+    status, _payload = client.submit(
+        "dse", name, size, options={"objective": "single"}
+    )
+    assert status == 202
+
+
 def test_verify_jobs_match_in_process_verification(serve_factory):
     name, size = "gemm", 48
     engine = build_workload(name, size).verify()
