@@ -1,0 +1,90 @@
+"""Benchmark: throughput-balanced dataflow DSE vs. a naive even split.
+
+Runs the joint dataflow DSE (:func:`repro.dataflow.auto_dse_dataflow`)
+over the multi-kernel FIFO pipeline workloads under a 25% resource
+budget and records balanced-vs-naive intervals to ``BENCH_dataflow.json``
+at the repo root.  The balancing walk spends resources only on the
+bottleneck stage, so under a tight budget it must beat splitting the
+same budget evenly across stages; the >= 1.5x floor is far below the
+measured ~3x but well above noise (the model is deterministic, so the
+slack only absorbs future estimator recalibrations).
+"""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.dse import DseOptions
+from repro import workloads
+
+#: Hard floor for the balanced-over-naive interval speedup (geomean).
+SPEEDUP_BAR = 1.5
+
+WORKLOADS = ("image-pipeline", "conv-block")
+RESOURCE_FRACTION = 0.25
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_dataflow.json"
+
+
+def _bench_design(name, size):
+    design = workloads.get(name, size)
+    start = time.perf_counter()
+    result = design.auto_DSE(options=DseOptions(
+        resource_fraction=RESOURCE_FRACTION,
+    ))
+    elapsed = time.perf_counter() - start
+    return {
+        "workload": name,
+        "size": size,
+        "stages": len(result.design.stages),
+        "interval_cycles": result.report.interval_cycles,
+        "naive_interval_cycles": result.naive_report.interval_cycles,
+        "balanced_speedup": round(result.balanced_speedup, 2),
+        "bottleneck": result.report.bottleneck(),
+        "frontier_designs": len(result.frontier),
+        "evaluations": result.evaluations,
+        "dse_s": round(elapsed, 3),
+        "fifo_depths": {
+            fifo.array: fifo.depth for fifo in result.report.fifos
+        },
+    }
+
+
+@pytest.mark.perfsmoke
+@pytest.mark.dataflow
+def test_balanced_beats_naive(benchmark, paper_scale):
+    size = 64 if paper_scale else 32
+    state = {}
+
+    def run_all():
+        state["rows"] = [_bench_design(name, size) for name in WORKLOADS]
+
+    benchmark(run_all)
+
+    rows = state["rows"]
+    speedups = [row["balanced_speedup"] for row in rows]
+    geomean = 1.0
+    for value in speedups:
+        geomean *= value
+    geomean **= 1.0 / len(speedups)
+
+    payload = {
+        "asserted_min": SPEEDUP_BAR,
+        "resource_fraction": RESOURCE_FRACTION,
+        "geomean_speedup": round(geomean, 2),
+        "rows": rows,
+    }
+    from repro.util import atomic_write
+
+    atomic_write(RESULT_PATH, json.dumps(payload, indent=2) + "\n")
+    benchmark.extra_info.update(payload)
+
+    for row in rows:
+        assert row["stages"] >= 3, row
+        assert row["balanced_speedup"] >= 1.0, row
+    assert geomean >= SPEEDUP_BAR, (
+        f"balanced dataflow DSE geomean speedup {geomean:.2f}x over the "
+        f"naive even split is below the {SPEEDUP_BAR}x bar: {rows}"
+    )

@@ -33,9 +33,9 @@ def test_pom_speedup_monotone_in_budget(results):
 
 @pytest.mark.parametrize("fraction", (0.25, 0.5))
 def test_budgets_respected(results, fraction):
-    from repro.hls.device import XC7Z020
+    from repro.hls.device import DEFAULT_DEVICE
 
-    budget = XC7Z020.scaled(fraction)
+    budget = DEFAULT_DEVICE.scaled(fraction)
     report = results[fraction]["pom"].report
     assert report.resources.dsp <= budget.dsp
     assert report.resources.lut <= budget.lut

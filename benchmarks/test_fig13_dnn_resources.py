@@ -9,7 +9,7 @@ past the device budget.
 import pytest
 
 from repro.evaluation import fig13
-from repro.hls.device import XC7Z020
+from repro.hls.device import DEFAULT_DEVICE
 
 
 @pytest.fixture(scope="module")
@@ -35,7 +35,7 @@ def test_pom_curve_flat(series, network):
     """Resource reuse: the accumulated max stops growing quickly."""
     pom = _by(series, "pom", network)
     assert pom.dsp[-1] == max(pom.dsp)
-    assert pom.dsp[-1] <= XC7Z020.dsp
+    assert pom.dsp[-1] <= DEFAULT_DEVICE.dsp
 
 
 @pytest.mark.parametrize("network", ("vgg16", "resnet18"))

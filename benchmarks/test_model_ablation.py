@@ -13,7 +13,7 @@ paper's shapes; this suite flips each one off and asserts its effect:
 import pytest
 
 from repro.dsl import Function, compute, placeholder, var
-from repro.hls import HlsEstimator, XC7Z020
+from repro.hls import DEFAULT_DEVICE, HlsEstimator
 from repro.pipeline import lower_to_affine
 from repro.workloads import polybench
 

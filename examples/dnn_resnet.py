@@ -9,7 +9,7 @@ Run:  python examples/dnn_resnet.py
 """
 
 from repro.baselines import scalehls
-from repro.hls.device import XC7Z020
+from repro.hls.device import DEFAULT_DEVICE
 from repro.hls.report import speedup
 from repro.pipeline import estimate
 from repro.workloads import dnn
@@ -40,7 +40,7 @@ def main():
     print("\nScaleHLS (dataflow):", sh.report.summary())
     print("  speedup:", f"{speedup(baseline, sh.report):.1f}x",
           "| feasible:", sh.report.feasible(),
-          f"(device has {XC7Z020.dsp} DSPs, design wants {sh.report.resources.dsp})")
+          f"(device has {DEFAULT_DEVICE.dsp} DSPs, design wants {sh.report.resources.dsp})")
 
     # -- POM under a tighter budget --------------------------------------------
     tight_fn = dnn.resnet18(size=SIZE, channel_scale=SCALE)

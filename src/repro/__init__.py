@@ -35,6 +35,7 @@ _SUBMODULES = (
     "hlsgen",
     "hls",
     "dse",
+    "dataflow",
     "baselines",
     "workloads",
     "evaluation",
@@ -59,6 +60,10 @@ _EXPORTS = {
     "DseOptions": "repro.dse",
     "DseResult": "repro.dse",
     "DseStats": "repro.dse",
+    # Task-level dataflow designs (multi-kernel FIFO pipelines)
+    "DataflowDesign": "repro.dataflow",
+    "Pipeline": "repro.dataflow",
+    "auto_dse_dataflow": "repro.dataflow",
     # Simulation (compiled numpy oracle)
     "simulate": "repro.affine",
     "interpret": "repro.affine",

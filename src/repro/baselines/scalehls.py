@@ -24,7 +24,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.dsl.function import Function
 from repro.dsl.schedule import After, Fuse, Pipeline, Split, Unroll
 from repro.affine.lowering import lower_program
-from repro.hls.device import FPGADevice, XC7Z020
+from repro.hls.device import DEFAULT_DEVICE, FPGADevice
 from repro.hls.estimator import HlsEstimator
 from repro.hls.report import SynthesisReport
 from repro.polyir.program import PolyProgram
@@ -62,7 +62,7 @@ def optimize(
 ) -> ScaleHlsResult:
     """Run the ScaleHLS-style flow and install the best schedule found."""
     start = time.perf_counter()
-    device = device or XC7Z020
+    device = device or DEFAULT_DEVICE
     budget = device.scaled(resource_fraction) if resource_fraction < 1.0 else device
     estimator = HlsEstimator(
         device=device, clock_ns=clock_ns, dataflow=dataflow, share_sequential=False

@@ -26,16 +26,7 @@ import argparse
 import json
 import sys
 import warnings
-from typing import Callable, Dict, Optional
-
-from repro.workloads import ALL_SUITES
-
-
-def _workload_registry() -> Dict[str, Callable]:
-    registry: Dict[str, Callable] = {}
-    for suite in ALL_SUITES.values():
-        registry.update(suite)
-    return registry
+from typing import Dict, Optional
 
 
 # -- unified run flags --------------------------------------------------------
@@ -132,24 +123,97 @@ def _export_trace(tracer, path: str) -> None:
 
 
 def _build_workload(name: str, size: Optional[int]):
-    registry = _workload_registry()
-    if name not in registry:
-        known = ", ".join(sorted(registry))
-        raise SystemExit(f"unknown workload {name!r}; available: {known}")
-    factory = registry[name]
-    return factory(size) if size is not None else factory()
+    """Registry lookup; WLD001/WLD002 become clean CLI exits."""
+    from repro import workloads
+    from repro.diagnostics import DiagnosticError
+
+    try:
+        return workloads.get(name, size)
+    except DiagnosticError as exc:
+        raise SystemExit(str(exc))
+
+
+def _resolve_device(name: Optional[str]):
+    """``--device`` string -> FPGADevice (None passes through)."""
+    if name is None:
+        return None
+    from repro.hls.device import get_device
+
+    try:
+        return get_device(name)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+
+
+def _add_device_flag(parser) -> None:
+    parser.add_argument(
+        "--device", metavar="NAME", default=None,
+        help="target FPGA part from the device zoo (e.g. xc7z020, "
+             "xczu9eg, xc7z020@50%%@200mhz); default: the paper's xc7z020",
+    )
 
 
 def cmd_list(args) -> int:
-    for suite_name, suite in ALL_SUITES.items():
+    from repro import workloads
+
+    for suite_name, suite_names in workloads.suites().items():
         print(f"{suite_name}:")
-        for name in suite:
+        for name in suite_names:
             print(f"  {name}")
     return 0
 
 
+def _cmd_compile_dataflow(args, design) -> int:
+    """``repro compile`` for dataflow designs (multi-kernel pipelines)."""
+    from repro.dataflow import estimate_design, generate_dataflow_hls_c
+
+    for flag in ("load_schedule", "save_schedule", "cosim"):
+        if getattr(args, flag):
+            option = "--" + flag.replace("_", "-")
+            raise SystemExit(
+                f"{option} applies to single-kernel workloads, not the "
+                f"dataflow design {args.workload!r}"
+            )
+    if args.emit == "testbench":
+        raise SystemExit(
+            "--emit testbench is not supported for dataflow designs yet"
+        )
+    device = _resolve_device(args.device)
+
+    if args.dse:
+        from repro.dse.options import DseOptions
+
+        result = design.auto_DSE(options=DseOptions(
+            resource_fraction=args.resource_fraction, device=device,
+        ))
+        print(
+            f"// auto-DSE: {result.evaluations} evaluations in "
+            f"{result.dse_time_s:.2f}s, balanced speedup "
+            f"{result.balanced_speedup:.2f}x over naive even-split",
+            file=sys.stderr,
+        )
+
+    if args.emit in ("c", "all"):
+        print(generate_dataflow_hls_c(design))
+    if args.emit in ("mlir", "all"):
+        from repro.affine import print_func
+
+        for stage in design.topo_order():
+            print(f"// stage {stage.name}")
+            print(print_func(stage.function.lower()))
+    if args.emit in ("report", "all"):
+        report = estimate_design(design, device=device)
+        print(report.summary())
+    return 0
+
+
 def cmd_compile(args) -> int:
-    function = _build_workload(args.workload, args.size)
+    from repro.dataflow import DataflowDesign
+
+    workload = _build_workload(args.workload, args.size)
+    if isinstance(workload, DataflowDesign):
+        return _cmd_compile_dataflow(args, workload)
+    function = workload
 
     if args.load_schedule:
         from repro.dsl.serialize import load_schedule
@@ -157,11 +221,14 @@ def cmd_compile(args) -> int:
         load_schedule(function, args.load_schedule)
         print(f"// schedule loaded from {args.load_schedule}", file=sys.stderr)
 
+    device = _resolve_device(args.device)
     if args.dse:
         from repro.dse.options import DseOptions
 
         result = function.auto_DSE(
-            options=DseOptions(resource_fraction=args.resource_fraction)
+            options=DseOptions(
+                resource_fraction=args.resource_fraction, device=device,
+            )
         )
         print(
             f"// auto-DSE: {result.evaluations} evaluations in "
@@ -183,7 +250,7 @@ def cmd_compile(args) -> int:
 
         print(print_func(function.lower()))
     if emit in ("report", "all"):
-        report = function.estimate()
+        report = function.estimate(device)
         print(report.summary())
         for loop in report.loops:
             print("  ", loop)
@@ -224,6 +291,8 @@ def _resume_hint(args, checkpoint: str) -> str:
     hint = f"python -m repro dse {args.workload}"
     if args.size is not None:
         hint += f" --size {args.size}"
+    if args.device is not None:
+        hint += f" --device {args.device}"
     if args.resource_fraction != 1.0:
         hint += f" --resource-fraction {args.resource_fraction}"
     return hint + f" --resume {checkpoint}"
@@ -249,8 +318,10 @@ def _cmd_dse_all(args) -> int:
     if args.resume is not None:
         raise SystemExit("--resume applies to a single workload, not --all "
                          "(crashed shards auto-resume from their journals)")
+    _resolve_device(args.device)  # fail fast on a bad name (shards get the string)
     specs = default_sweep_specs(
         size=args.size,
+        device=args.device,
         resource_fraction=args.resource_fraction,
         cache=not args.no_cache,
         candidate_timeout_s=args.candidate_timeout,
@@ -323,8 +394,54 @@ class _null_context:
         return None
 
 
+def _report_dataflow_dse(args, result) -> int:
+    """Print a :class:`DataflowDseResult` (the dataflow `repro dse` tail)."""
+    from repro.dse.pareto import frontier_summary, parse_objective
+
+    report = result.report
+    print(
+        f"dataflow auto-DSE of {args.workload}: {result.evaluations} "
+        f"evaluations in {result.dse_time_s:.3f}s"
+    )
+    bottleneck = report.bottleneck()
+    print(
+        f"interval {report.interval_cycles} cycles "
+        f"(bottleneck stage: {bottleneck}, "
+        f"{report.stage_reports[bottleneck].total_cycles} cycles); "
+        f"naive even-split interval {result.naive_report.interval_cycles} "
+        f"cycles; balanced speedup {result.balanced_speedup:.2f}x"
+    )
+    for stage in result.design.topo_order():
+        point = result.selection[stage.name]
+        print(
+            f"  stage {stage.name}: {point.cycles} cycles, "
+            f"dsp={point.dsp} lut={point.lut}"
+        )
+    print(report.summary())
+    if result.frontier:
+        print(frontier_summary(
+            result.frontier, parse_objective(result.objective)
+        ))
+    if result.quarantine:
+        print(f"quarantined {len(result.quarantine)} candidate(s):")
+        for candidate in result.quarantine:
+            print(
+                f"  parallelism {candidate.parallelism}: "
+                f"{candidate.diagnostic.oneline()}"
+            )
+        if not args.allow_degraded:
+            print(
+                "sweep degraded (quarantined candidates); pass "
+                "--allow-degraded to accept the best design found",
+                file=sys.stderr,
+            )
+            return 3
+    return 0
+
+
 def cmd_dse(args) -> int:
     from repro import trace as trace_mod
+    from repro.dataflow import DataflowDesign
     from repro.diagnostics import DiagnosticError
     from repro.dse.options import DseOptions
 
@@ -336,6 +453,7 @@ def cmd_dse(args) -> int:
     function = _build_workload(args.workload, args.size)
     checkpoint = args.resume or args.checkpoint
     options = DseOptions(
+        device=_resolve_device(args.device),
         resource_fraction=args.resource_fraction,
         cache=not args.no_cache,
         checkpoint=checkpoint,
@@ -363,6 +481,8 @@ def cmd_dse(args) -> int:
         return 130
     if tracer is not None:
         _export_trace(tracer, args.trace)
+    if isinstance(function, DataflowDesign):
+        return _report_dataflow_dse(args, result)
     print(
         f"auto-DSE of {args.workload}: {result.evaluations} evaluations in "
         f"{result.dse_time_s:.3f}s"
@@ -411,8 +531,14 @@ def cmd_verify(args) -> int:
 
     function = _build_workload(args.workload, args.size)
     if args.load_schedule:
+        from repro.dataflow import DataflowDesign
         from repro.dsl.serialize import load_schedule
 
+        if isinstance(function, DataflowDesign):
+            raise SystemExit(
+                "--load-schedule applies to single-kernel workloads, not "
+                f"the dataflow design {args.workload!r}"
+            )
         load_schedule(function, args.load_schedule)
     tracer = trace_mod.Tracer() if (args.trace or args.stats) else None
     with trace_mod.tracing(tracer) if tracer else _null_context():
@@ -433,15 +559,20 @@ def cmd_trace(args) -> int:
     from repro import trace as trace_mod
     from repro.trace import render_metrics, render_text_profile
 
+    from repro.dataflow import DataflowDesign
+
     function = _build_workload(args.workload, args.size)
+    device = _resolve_device(args.device)
     with trace_mod.tracing() as tracer:
         if args.dse:
             from repro.dse.options import DseOptions
 
-            function.auto_DSE(options=DseOptions(jobs=args.jobs))
+            function.auto_DSE(options=DseOptions(jobs=args.jobs, device=device))
+        elif isinstance(function, DataflowDesign):
+            function.estimate(device=device)
         else:
             function.lower()
-            function.estimate()
+            function.estimate(device)
     print(render_text_profile(tracer, min_fraction=0.001))
     print()
     print(render_metrics(tracer))
@@ -619,6 +750,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--resource-fraction", type=float, default=1.0,
         help="fraction of the device budget available to the DSE",
     )
+    _add_device_flag(compile_p)
     compile_p.add_argument(
         "--emit", choices=("c", "mlir", "report", "testbench", "all"), default="c",
         help="what to print (default: HLS C)",
@@ -648,6 +780,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="sweep the standard 4-workload set, one shard per workload",
     )
     _add_run_flags(dse_p, jobs=True, checkpoint=True, stats=True, trace=True)
+    _add_device_flag(dse_p)
     dse_p.add_argument(
         "--resource-fraction", type=float, default=1.0,
         help="fraction of the device budget available to the DSE",
@@ -715,6 +848,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="trace a full auto-DSE sweep instead of a single compile",
     )
     _add_run_flags(trace_p, jobs=True, trace=True)
+    _add_device_flag(trace_p)
     trace_p.set_defaults(func=cmd_trace)
 
     fuzz_p = sub.add_parser(

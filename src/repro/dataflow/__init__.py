@@ -1,0 +1,52 @@
+"""Task-level dataflow: multi-kernel FIFO pipelines (``docs/dataflow.md``).
+
+Compose existing single-kernel :class:`~repro.dsl.function.Function`\\ s
+into a streaming accelerator::
+
+    from repro.dataflow import Pipeline
+
+    p = Pipeline("edge_pipe")
+    p.add_stage(smooth_fn).add_stage(grad_fn).add_stage(mag_fn)
+    p.stream("smooth", "grad", "smooth")
+    p.stream("grad", "mag", "gx")
+    p.stream("grad", "mag", "gy")
+    design = p.build()
+
+    design.estimate()                  # interval / FIFO / resource model
+    design.auto_DSE(options)           # joint, throughput-balanced DSE
+    print(design.codegen())            # #pragma HLS dataflow wrapper
+"""
+
+from repro.dataflow.design import DataflowDesign, Pipeline, Stage, StreamEdge
+from repro.dataflow.estimate import (
+    DataflowReport,
+    FifoSpec,
+    estimate_design,
+    fifo_min_depth,
+    resolve_depths,
+)
+from repro.dataflow.codegen import generate_dataflow_hls_c
+from repro.dataflow.simulate import (
+    StreamBuffer,
+    reference_execute_design,
+    simulate_design,
+)
+from repro.dataflow.dse import DataflowDseResult, auto_dse_dataflow
+
+__all__ = [
+    "DataflowDesign",
+    "Pipeline",
+    "Stage",
+    "StreamEdge",
+    "DataflowReport",
+    "FifoSpec",
+    "estimate_design",
+    "fifo_min_depth",
+    "resolve_depths",
+    "generate_dataflow_hls_c",
+    "StreamBuffer",
+    "reference_execute_design",
+    "simulate_design",
+    "DataflowDseResult",
+    "auto_dse_dataflow",
+]

@@ -11,6 +11,8 @@ instead of parsing message strings.  Codes group by layer:
 * ``DSE0xx`` -- design space exploration fault handling;
 * ``RPT0xx`` -- evaluation harness;
 * ``FUZ0xx`` -- schedule fuzzing (differential harness);
+* ``WLD0xx`` -- workload registry lookups;
+* ``DFL0xx`` -- task-level dataflow designs (FIFO pipelines);
 * ``GEN0xx`` -- unclassified.
 
 See ``docs/diagnostics.md`` for the full catalogue with examples.
@@ -72,6 +74,21 @@ CODES: Dict[str, str] = {
     "SRV005": "corrupt result-store entry skipped during load",
     "SRV006": "server draining; in-flight jobs checkpointed for restart",
     "SRV007": "unfinished job recovered from the ledger and re-queued",
+    # -- workload registry -------------------------------------------------
+    "WLD001": "unknown workload name (not in the registry)",
+    "WLD002": "workload cannot be built at the requested size",
+    # -- task-level dataflow designs ---------------------------------------
+    "DFL001": "stream edge references an unknown stage",
+    "DFL002": "stream array is not written by its producer stage or "
+              "not read by its consumer stage",
+    "DFL003": "stream endpoints disagree on array shape or element type",
+    "DFL004": "dataflow graph contains a cycle",
+    "DFL005": "stream array must have exactly one producer and one consumer",
+    "DFL006": "consumer reads outside the producer's write footprint "
+              "(reads the zero-initialized border)",
+    "DFL007": "FIFO depth below the deadlock-free minimum for the "
+              "consumer's read window",
+    "DFL008": "stages share an array with no stream edge declared",
     # -- fallback --------------------------------------------------------
     "GEN001": "unclassified error",
 }

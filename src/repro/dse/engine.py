@@ -55,7 +55,7 @@ from repro.dsl.schedule import Schedule
 from repro.depgraph.graph import build_dependence_graph
 from repro.affine.ir import AffineStoreOp, FuncOp
 from repro.affine.lowering import lower_program_incremental
-from repro.hls.device import FPGADevice, XC7Z020
+from repro.hls.device import DEFAULT_DEVICE, FPGADevice
 from repro.hls.estimator import HlsEstimator, TransientEstimatorError
 from repro.hls.report import SynthesisReport, speedup
 from repro.isl import memo as _isl_memo
@@ -329,7 +329,8 @@ def auto_dse(
     options.validate()
     objective = options.parsed_objective()
     start = time.perf_counter()
-    device = options.device or XC7Z020
+    device = options.resolved_device()
+    clock_ns = options.resolved_clock_ns()
     resource_fraction = options.resource_fraction
     cache = options.cache
     checkpoint = options.checkpoint
@@ -337,7 +338,7 @@ def auto_dse(
     jobs = options.jobs
     budget = device.scaled(resource_fraction) if resource_fraction < 1.0 else device
     estimator = HlsEstimator(
-        device=device, clock_ns=options.clock_ns, memoize_reports=cache
+        device=device, clock_ns=clock_ns, memoize_reports=cache
     )
 
     stats = DseStats(cache_enabled=cache)
@@ -378,7 +379,7 @@ def auto_dse(
     journal: Optional[CheckpointJournal] = None
     if checkpoint is not None:
         header = make_header(
-            function, device, resource_fraction, options.clock_ns,
+            function, device, resource_fraction, clock_ns,
             options.max_parallelism, options.keep_existing_schedule,
         )
         if options.resume:
@@ -423,7 +424,7 @@ def auto_dse(
                         speculator = SpeculativeEvaluator(
                             function,
                             device=device,
-                            clock_ns=options.clock_ns,
+                            clock_ns=clock_ns,
                             keep_existing_schedule=options.keep_existing_schedule,
                             candidate_timeout_s=options.candidate_timeout_s,
                             jobs=jobs,

@@ -36,7 +36,10 @@ class DseOptions:
 
     Grouped the way ``docs/dse.md`` discusses them:
 
-    * **target**: ``device``, ``resource_fraction``, ``clock_ns``;
+    * **target**: ``device``, ``resource_fraction``, ``clock_ns``
+      (``None`` inherits the device's own clock target, so zoo parts
+      retimed with ``FPGADevice.at_clock`` estimate at their declared
+      frequency);
     * **search**: ``max_parallelism``, ``keep_existing_schedule``,
       ``cache``;
     * **resilience**: ``checkpoint``, ``resume``,
@@ -56,7 +59,7 @@ class DseOptions:
 
     device: Optional[FPGADevice] = None
     resource_fraction: float = 1.0
-    clock_ns: float = 10.0
+    clock_ns: Optional[float] = None
     max_parallelism: int = MAX_PARALLELISM
     keep_existing_schedule: bool = False
     cache: bool = True
@@ -81,7 +84,7 @@ class DseOptions:
             raise ValueError(
                 f"resource_fraction must be > 0, got {self.resource_fraction}"
             )
-        if self.clock_ns <= 0:
+        if self.clock_ns is not None and self.clock_ns <= 0:
             raise ValueError(f"clock_ns must be > 0, got {self.clock_ns}")
         if self.max_parallelism < 1:
             raise ValueError(
@@ -104,6 +107,18 @@ class DseOptions:
 
         parse_objective(self.objective)
         return self
+
+    def resolved_device(self) -> FPGADevice:
+        """The target device (default: the paper's XC7Z020)."""
+        from repro.hls.device import DEFAULT_DEVICE
+
+        return self.device if self.device is not None else DEFAULT_DEVICE
+
+    def resolved_clock_ns(self) -> float:
+        """The effective clock: an explicit override or the device's own."""
+        if self.clock_ns is not None:
+            return self.clock_ns
+        return self.resolved_device().clock_ns
 
     def parsed_objective(self):
         """The validated :class:`~repro.dse.pareto.Objective`."""

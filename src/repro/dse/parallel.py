@@ -69,7 +69,7 @@ from repro.dse.stats import DseStats
 from repro import trace as _trace
 from repro.affine.lowering import lower_program_incremental
 from repro.depgraph.graph import build_dependence_graph
-from repro.hls.device import FPGADevice, XC7Z020
+from repro.hls.device import DEFAULT_DEVICE, FPGADevice
 from repro.hls.estimator import HlsEstimator
 from repro.polyir.program import PolyProgram
 from repro.util.deadline import Deadline, DeadlineExceeded, deadline_scope
@@ -85,18 +85,13 @@ def build_workload(name: str, size: Optional[int] = None):
 
     Worker processes rebuild their shard's function from ``(name, size)``
     rather than receiving a live object, so a shard task stays tiny and
-    start-method agnostic.
+    start-method agnostic.  Delegates to the workload registry; an
+    unknown name raises the registry's stable ``WLD001`` diagnostic
+    (a :class:`ValueError` subclass, so existing handlers still match).
     """
-    from repro.workloads import ALL_SUITES
+    from repro import workloads
 
-    registry: Dict[str, Callable] = {}
-    for suite in ALL_SUITES.values():
-        registry.update(suite)
-    if name not in registry:
-        known = ", ".join(sorted(registry))
-        raise ValueError(f"unknown workload {name!r}; available: {known}")
-    factory = registry[name]
-    return factory(size) if size is not None else factory()
+    return workloads.get(name, size)
 
 
 # -- speculative candidate evaluation ----------------------------------------
@@ -291,7 +286,7 @@ class SpeculativeEvaluator:
         self._tickets: Dict[str, int] = {}
         self._pool = WorkerPool(
             _spec_init,
-            (function, device or XC7Z020, clock_ns, keep_existing_schedule,
+            (function, device or DEFAULT_DEVICE, clock_ns, keep_existing_schedule,
              candidate_timeout_s, _trace.enabled()),
             _spec_eval,
             jobs,
@@ -335,8 +330,9 @@ class ShardSpec:
     size: Optional[int] = None
     checkpoint: Optional[str] = None
     resume: bool = False
+    device: Optional[str] = None  # zoo name, e.g. "xczu9eg@50%" (picklable)
     resource_fraction: float = 1.0
-    clock_ns: float = 10.0
+    clock_ns: Optional[float] = None  # None = the device's own clock
     cache: bool = True
     candidate_timeout_s: Optional[float] = None
     time_budget_s: Optional[float] = None
@@ -347,8 +343,16 @@ class ShardSpec:
     surrogate: bool = True  # frontier modes: allow provable-skip copies
 
     def to_options(self) -> DseOptions:
-        """This shard's engine configuration as one :class:`DseOptions`."""
+        """This shard's engine configuration as one :class:`DseOptions`.
+
+        The device travels as its registry *name* (shard specs must be
+        picklable and journal-friendly); it resolves here, on whichever
+        side of the process boundary runs the shard.
+        """
+        from repro.hls.device import get_device
+
         return DseOptions(
+            device=get_device(self.device) if self.device else None,
             resource_fraction=self.resource_fraction,
             clock_ns=self.clock_ns,
             cache=self.cache,

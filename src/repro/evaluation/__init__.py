@@ -6,6 +6,7 @@ Each module exposes ``run(...)`` returning structured results,
 """
 
 from repro.evaluation import (
+    dataflow_pipe,
     fig2,
     fig11,
     fig12,
@@ -34,6 +35,7 @@ ALL_EXPERIMENTS = {
     "fig14": fig14,
     "fig15": fig15,
     "pareto_front": pareto_front,
+    "dataflow": dataflow_pipe,
 }
 
 __all__ = ["ALL_EXPERIMENTS", "RunResult", "run_framework", "format_table"]

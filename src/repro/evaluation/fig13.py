@@ -15,7 +15,7 @@ from repro.dse import auto_dse
 from repro.baselines import scalehls
 from repro.affine.ir import AffineStoreOp, FuncOp
 from repro.affine.lowering import lower_program
-from repro.hls.device import XC7Z020
+from repro.hls.device import DEFAULT_DEVICE
 from repro.hls.estimator import HlsEstimator
 from repro.polyir.program import PolyProgram
 from repro.evaluation.frameworks import format_table
@@ -106,7 +106,7 @@ def render(results: List[AccumulatedSeries]) -> str:
         for loop, dsp, lut in zip(series.loops, series.dsp, series.lut):
             rows.append([
                 series.network, series.framework, loop,
-                str(dsp), str(lut), str(XC7Z020.dsp),
+                str(dsp), str(lut), str(DEFAULT_DEVICE.dsp),
             ])
     return format_table(headers, rows, title="Fig. 13: accumulated DNN resource usage")
 

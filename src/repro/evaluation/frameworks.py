@@ -16,7 +16,7 @@ from typing import Callable, Dict, List, Optional
 from repro.dsl.function import Function
 from repro.baselines import manual, pluto, polsca, scalehls
 from repro.dse import auto_dse
-from repro.hls.device import FPGADevice, XC7Z020
+from repro.hls.device import DEFAULT_DEVICE, FPGADevice
 from repro.hls.estimator import HlsEstimator
 from repro.hls.report import SynthesisReport
 from repro.pipeline import estimate, lower_to_affine
@@ -68,7 +68,7 @@ def run_framework(
     """Build, optimize with one framework, and synthesize a workload."""
     if framework not in FRAMEWORKS:
         raise ValueError(f"unknown framework {framework!r}")
-    device = device or XC7Z020
+    device = device or DEFAULT_DEVICE
 
     baseline_fn = _build(factory, size, baseline=True, **factory_kwargs)
     baseline_cycles = estimate(baseline_fn, device=device).total_cycles

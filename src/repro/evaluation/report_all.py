@@ -35,7 +35,25 @@ QUICK_ARGS: Dict[str, dict] = {
     "fig11": {"size": 256},
     "table6": {"size": 256},
     "pareto_front": {"size": 256},
+    "dataflow": {"size": 16},
 }
+
+
+def _experiment_kwargs(name: str, quick: bool, device: Optional[str]) -> dict:
+    """The kwargs one experiment's ``main`` receives for this run.
+
+    ``device`` (a zoo name, picklable across worker processes) is only
+    passed to experiments whose ``main`` declares a ``device``
+    parameter; the paper tables are pinned to the paper's part.
+    """
+    import inspect
+
+    kwargs = dict(QUICK_ARGS.get(name, {})) if quick else {}
+    if device is not None:
+        main = ALL_EXPERIMENTS[name].main
+        if "device" in inspect.signature(main).parameters:
+            kwargs["device"] = device
+    return kwargs
 
 
 def _run_experiment(payload: tuple) -> dict:
@@ -79,6 +97,7 @@ def run_all(
     failures: Optional[List[Diagnostic]] = None,
     jobs: Optional[int] = None,
     trace=None,
+    device: Optional[str] = None,
 ) -> str:
     """Run every experiment; returns (and optionally streams) the report.
 
@@ -112,9 +131,11 @@ def run_all(
 
     emit("# Evaluation report")
     emit(f"mode: {'quick' if quick else 'paper-scale'}")
+    if device is not None:
+        emit(f"device: {device} (device-aware experiments only)")
     emit()
     payloads = [
-        (name, QUICK_ARGS.get(name, {}) if quick else {}, tracer is not None)
+        (name, _experiment_kwargs(name, quick, device), tracer is not None)
         for name in ALL_EXPERIMENTS
     ]
     if jobs is not None and jobs > 1:
@@ -169,8 +190,20 @@ def main(argv=None) -> int:
     parser.add_argument("--quick", action="store_true",
                         help="reduced sizes (minutes instead of ~10 min)")
     _add_run_flags(parser, jobs=True, stats=True, trace=True)
+    parser.add_argument(
+        "--device", metavar="NAME", default=None,
+        help="device-zoo part for device-aware experiments "
+             "(e.g. xczu9eg, xc7z020@50%%)",
+    )
     parser.add_argument("--output", default=None, help="write the report here")
     args = parser.parse_args(argv)
+    if args.device is not None:
+        from repro.hls.device import get_device
+
+        try:
+            get_device(args.device)  # fail fast; workers get the name
+        except ValueError as exc:
+            raise SystemExit(str(exc))
     failures: List[Diagnostic] = []
     tracer = _trace.Tracer() if (args.trace or args.stats) else None
     report = run_all(
@@ -179,6 +212,7 @@ def main(argv=None) -> int:
         failures=failures,
         jobs=args.jobs,
         trace=tracer,
+        device=args.device,
     )
     if args.output:
         atomic_write(args.output, report)

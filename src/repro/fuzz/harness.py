@@ -46,17 +46,46 @@ SHRINK_BUDGET = 120
 
 
 def workload_factory(name: str):
-    """Look up a workload builder by name across all suites."""
-    from repro.workloads import ALL_SUITES
+    """Look up a workload builder by name (registry-backed).
 
-    for builders in ALL_SUITES.values():
-        if name in builders:
-            return builders[name]
-    raise KeyError(f"unknown workload {name!r}")
+    Unknown names raise the registry's ``WLD001``
+    :class:`~repro.diagnostics.DiagnosticError`.
+    """
+    from repro import workloads
+
+    workloads.kind_of(name)  # WLD001 up front, not at first build
+    return lambda size=None: workloads.get(name, size)
 
 
-def build_workload(name: str, size: int) -> Function:
+def build_workload(name: str, size: int):
+    """A Function -- or a DataflowDesign for dataflow workload names."""
     return workload_factory(name)(size)
+
+
+def _scheduled_stage(workload, schedule: Dict[str, Any]):
+    """The Function a trial's schedule applies to, with it applied.
+
+    Single-kernel workloads: the function itself.  Dataflow designs:
+    the stage named by the schedule dict's ``"stage"`` key (dataflow
+    trials mutate exactly one stage per trial; the differential still
+    runs the whole pipeline).
+    """
+    from repro.dataflow import DataflowDesign
+
+    if isinstance(workload, DataflowDesign):
+        stage_name = schedule.get("stage")
+        if stage_name is None:
+            return None
+        target = workload.stages[stage_name].function
+    else:
+        target = workload
+    serialized = {
+        key: schedule[key]
+        for key in ("directives", "partitions")
+        if key in schedule
+    }
+    schedule_from_dict(target, serialized)
+    return target
 
 
 @dataclass
@@ -102,10 +131,18 @@ def _differential(
     """
     from repro.affine.compile import simulate
     from repro.affine.interp import interpret
+    from repro.dataflow import DataflowDesign
 
     stage = "build"
     try:
-        function = build_workload(workload, size)
+        built = build_workload(workload, size)
+    except Exception as exc:
+        detail = traceback.format_exc(limit=6)
+        return "crash", [], None, stage, f"{type(exc).__name__}: {exc}\n{detail}"
+    if isinstance(built, DataflowDesign):
+        return _differential_design(built, workload, size, seed, schedule)
+    try:
+        function = built
         schedule_from_dict(function, schedule)
         stage = "reference"
         reference = function.allocate_arrays(seed=seed)
@@ -148,6 +185,71 @@ def _differential(
     return "mismatch", mismatched, oracle, None, None
 
 
+def _differential_design(
+    design, workload: str, size: int, seed: int, schedule: Dict[str, Any]
+) -> Tuple[str, List[str], Optional[str], Optional[str], Optional[str]]:
+    """The dataflow variant of :func:`_differential`.
+
+    The schedule applies to one stage (its ``"stage"`` key); the
+    comparison runs the *whole pipeline* both ways -- DSL reference in
+    topological order vs compiled per-stage kernels chained through
+    stream buffers -- over every external and stream array.
+    """
+    from repro.affine import compile as _compile
+
+    stage = "build"
+    try:
+        _scheduled_stage(design, schedule)
+        stage = "reference"
+        reference = design.allocate_arrays(seed=seed)
+        design.reference_execute(reference)
+        stage = "simulate"
+        fresh = build_workload(workload, size)
+        _scheduled_stage(fresh, schedule)
+        simulated = fresh.allocate_arrays(seed=seed)
+        fresh.simulate(simulated)
+    except Exception as exc:
+        detail = traceback.format_exc(limit=6)
+        return "crash", [], None, stage, f"{type(exc).__name__}: {exc}\n{detail}"
+
+    mismatched = sorted(
+        name
+        for name in reference
+        if not np.array_equal(reference[name], simulated[name])
+    )
+    if not mismatched:
+        return "pass", [], None, None, None
+
+    # Attribution: replay the pipeline with interpreter-backed stage
+    # kernels (reference mode).  Agreement with the DSL reference means
+    # the compiled simulator broke; agreement with the compiled run
+    # means the transformation/lowering pipeline broke.
+    oracle = "both"
+    was_reference = _compile.set_reference_mode(True)
+    try:
+        third = build_workload(workload, size)
+        _scheduled_stage(third, schedule)
+        interpreted = third.allocate_arrays(seed=seed)
+        third.simulate(interpreted)
+        sim_bug = any(
+            not np.array_equal(interpreted[name], simulated[name])
+            for name in mismatched
+        )
+        transform_bug = any(
+            not np.array_equal(interpreted[name], reference[name])
+            for name in mismatched
+        )
+        if sim_bug and not transform_bug:
+            oracle = "sim"
+        elif transform_bug and not sim_bug:
+            oracle = "transform"
+    except Exception:  # attribution is best-effort
+        oracle = "both"
+    finally:
+        _compile.set_reference_mode(was_reference)
+    return "mismatch", mismatched, oracle, None, None
+
+
 def check_schedule(workload: str, size: int, seed: int, schedule: Dict[str, Any]) -> bool:
     """True when the serialized schedule passes the differential check."""
     kind, _, _, _, _ = _differential(workload, size, seed, schedule)
@@ -166,11 +268,21 @@ def run_trial(
 
     with _trace.span("fuzz.trial", category="fuzz",
                      args={"workload": workload, "size": size, "seed": seed}):
+        from repro.dataflow import DataflowDesign
+
         rng = random.Random(seed)
         try:
-            function = build_workload(workload, size)
-            random_schedule(function, rng, max_directives=max_directives)
-            schedule = schedule_to_dict(function)
+            built = build_workload(workload, size)
+            if isinstance(built, DataflowDesign):
+                stage_name = rng.choice(sorted(built.stages))
+                function = built.stages[stage_name].function
+                random_schedule(function, rng, max_directives=max_directives)
+                schedule = schedule_to_dict(function)
+                schedule["stage"] = stage_name
+            else:
+                function = built
+                random_schedule(function, rng, max_directives=max_directives)
+                schedule = schedule_to_dict(function)
         except Exception as exc:
             detail = traceback.format_exc(limit=6)
             return TrialResult(
@@ -193,11 +305,12 @@ def run_trial(
 def _still_fails(workload: str, size: int, seed: int, schedule: Dict[str, Any]) -> bool:
     """The shrink predicate: preflight-clean AND still failing."""
     try:
-        function = build_workload(workload, size)
-        schedule_from_dict(function, schedule)
+        target = _scheduled_stage(build_workload(workload, size), schedule)
     except Exception:
         return False
-    if preflight_schedule(function).errors():
+    if target is None:  # dataflow schedule lost its "stage" key
+        return False
+    if preflight_schedule(target).errors():
         return False
     kind, _, _, _, _ = _differential(workload, size, seed, schedule)
     return kind != "pass"
@@ -217,6 +330,8 @@ def shrink_failure(result: TrialResult) -> Dict[str, Any]:
         "directives": list(result.schedule.get("directives", [])),
         "partitions": dict(result.schedule.get("partitions", {})),
     }
+    if "stage" in result.schedule:  # dataflow: which stage the schedule targets
+        current["stage"] = result.schedule["stage"]
     spent = 0
     with _trace.span("fuzz.shrink", category="fuzz",
                      args={"workload": result.workload, "seed": result.seed}):
@@ -227,6 +342,7 @@ def shrink_failure(result: TrialResult) -> Dict[str, Any]:
                 if spent >= SHRINK_BUDGET:
                     break
                 candidate = {
+                    **current,
                     "directives": current["directives"][:index]
                     + current["directives"][index + 1:],
                     "partitions": dict(current["partitions"]),
@@ -239,6 +355,7 @@ def shrink_failure(result: TrialResult) -> Dict[str, Any]:
                 if spent >= SHRINK_BUDGET:
                     break
                 candidate = {
+                    **current,
                     "directives": list(current["directives"]),
                     "partitions": {
                         k: v for k, v in current["partitions"].items() if k != name

@@ -48,6 +48,8 @@ DEFAULT_WORKLOADS = (
     "seidel",
     "edgedetect",
     "blur",
+    "image-pipeline",
+    "conv-block",
 )
 DEFAULT_SIZES = (8, 12)
 

@@ -1,20 +1,30 @@
 """Virtual HLS synthesis toolchain (substitute for Vitis HLS / Vivado).
 
-Provides the device model, operator characterization, the latency/II/
+Provides the device zoo, operator characterization, the latency/II/
 resource estimator, the power model, report structures, and re-exports
 the affine-dialect functional interpreter as the simulation entry point.
 """
 
 from repro.affine.interp import interpret as simulate
-from repro.hls.device import DEFAULT_CLOCK_NS, XC7Z020, FPGADevice
+from repro.hls.device import (
+    DEFAULT_CLOCK_NS,
+    DEFAULT_DEVICE,
+    DEVICES,
+    FPGADevice,
+    device_names,
+    get_device,
+)
 from repro.hls.estimator import HlsEstimator
 from repro.hls.power import estimate_power
 from repro.hls.report import LoopReport, Resources, SynthesisReport, speedup
 
 __all__ = [
     "FPGADevice",
-    "XC7Z020",
+    "DEVICES",
+    "DEFAULT_DEVICE",
     "DEFAULT_CLOCK_NS",
+    "get_device",
+    "device_names",
     "HlsEstimator",
     "SynthesisReport",
     "LoopReport",
@@ -23,3 +33,13 @@ __all__ = [
     "estimate_power",
     "simulate",
 ]
+
+
+def __getattr__(attribute):
+    if attribute == "XC7Z020":
+        # The pre-zoo constant-import pattern; kept working through the
+        # docs/api.md deprecation-shim policy (one warning per import).
+        from repro.hls import device as _device
+
+        return _device.XC7Z020
+    raise AttributeError(f"module 'repro.hls' has no attribute {attribute!r}")

@@ -60,7 +60,7 @@ from repro.affine.ir import (
     ValueOp,
 )
 from repro.hls import oplib
-from repro.hls.device import DEFAULT_CLOCK_NS, FPGADevice, XC7Z020
+from repro.hls.device import DEFAULT_CLOCK_NS, DEFAULT_DEVICE, FPGADevice
 from repro.hls.power import estimate_power
 from repro.hls.report import LoopReport, Resources, SynthesisReport
 
@@ -90,7 +90,7 @@ class HlsEstimator:
 
     def __init__(
         self,
-        device: FPGADevice = XC7Z020,
+        device: FPGADevice = DEFAULT_DEVICE,
         clock_ns: float = DEFAULT_CLOCK_NS,
         dataflow: bool = False,
         share_sequential: bool = True,

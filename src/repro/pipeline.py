@@ -15,7 +15,7 @@ from repro.depgraph.graph import DependenceGraph, build_dependence_graph
 from repro.polyir.program import PolyProgram, lower_function
 from repro.affine.ir import FuncOp
 from repro.affine.lowering import lower_program
-from repro.hls.device import FPGADevice, XC7Z020
+from repro.hls.device import DEFAULT_DEVICE, FPGADevice
 from repro.hls.estimator import HlsEstimator
 from repro.hls.report import SynthesisReport
 from repro.hlsgen.codegen import generate_hls_c
@@ -64,9 +64,18 @@ def compile_to_hls_c(function: Function, canonicalize_ir: bool = True) -> str:
 def estimate(
     function: Function,
     device: Optional[FPGADevice] = None,
-    clock_ns: float = 10.0,
+    clock_ns: Optional[float] = None,
 ) -> SynthesisReport:
-    """Virtual HLS synthesis of the function under its current schedule."""
+    """Virtual HLS synthesis of the function under its current schedule.
+
+    ``clock_ns`` defaults to the device's own clock target, so zoo
+    parts retimed with :meth:`~repro.hls.device.FPGADevice.at_clock`
+    are estimated at their declared frequency.
+    """
     func = lower_to_affine(function)
-    estimator = HlsEstimator(device=device or XC7Z020, clock_ns=clock_ns)
+    device = device or DEFAULT_DEVICE
+    estimator = HlsEstimator(
+        device=device,
+        clock_ns=clock_ns if clock_ns is not None else device.clock_ns,
+    )
     return estimator.estimate(func)

@@ -38,6 +38,7 @@ CACHEABLE_KINDS = ("dse", "verify")
 #: Engine options each kind accepts (anything else is an SRV001 reject).
 _OPTION_KEYS = {
     "dse": (
+        "device",
         "resource_fraction",
         "clock_ns",
         "cache",
@@ -66,13 +67,10 @@ _FAULT_SPEC_KEYS = ("seed", "candidates", "rate", "kinds", "faults")
 
 
 def known_workloads() -> Tuple[str, ...]:
-    """Every registered workload name, sorted."""
-    from repro.workloads import ALL_SUITES
+    """Every registered workload name, sorted (registry-backed)."""
+    from repro import workloads
 
-    names = set()
-    for suite in ALL_SUITES.values():
-        names.update(suite)
-    return tuple(sorted(names))
+    return workloads.names()
 
 
 @dataclass
@@ -120,6 +118,16 @@ class JobSpec:
                 f"{kind} jobs do not accept options {sorted(bad)}; "
                 f"allowed: {sorted(allowed)}"
             )
+        device = options.get("device")
+        if device is not None:
+            # A zoo name (possibly with @percent / @mhz modifiers); the
+            # name string is part of the canonical request, so the
+            # device is in the cache key automatically.
+            if not isinstance(device, str):
+                raise ValueError("options.device must be a device name string")
+            from repro.hls.device import get_device
+
+            get_device(device)  # raises on unknown names / bad modifiers
         fault = payload.get("fault")
         if fault is not None:
             if kind != "dse":
@@ -306,17 +314,37 @@ def execute_job(
     raise ValueError(f"unknown job kind {spec.kind!r}")
 
 
+def dataflow_design_payload(result, workload: str, size: Optional[int]) -> dict:
+    """The deterministic slice of a :class:`DataflowDseResult`.
+
+    Same role as :func:`dse_design_payload`, for dataflow workloads:
+    stage selections, FIFO depths, the composed frontier, and the
+    balanced-vs-naive intervals -- everything that is a pure function
+    of the request -- with wall-clock measures left to ``timing``.
+    """
+    payload = result.payload()
+    payload["workload"] = workload
+    payload["size"] = size
+    return payload
+
+
 def _execute_dse(spec, journal_path, arm_faults, job_timeout_s, emit) -> dict:
     import time
 
+    from repro.dataflow import DataflowDesign
     from repro.dse.options import DseOptions
     from repro.dse.parallel import build_workload
 
     emit({"stage": "build", "workload": spec.workload})
-    function = build_workload(spec.workload, spec.size)
+    workload = build_workload(spec.workload, spec.size)
     resume = bool(journal_path) and os.path.exists(journal_path)
     plan = build_fault_plan(spec.fault) if arm_faults else None
     overrides = dict(spec.options)
+    device_name = overrides.pop("device", None)
+    if device_name is not None:
+        from repro.hls.device import get_device
+
+        overrides["device"] = get_device(device_name)
     time_budget = overrides.pop("time_budget_s", None)
     if job_timeout_s is not None:
         # The job timeout feeds the engine's own Deadline machinery: the
@@ -332,18 +360,29 @@ def _execute_dse(spec, journal_path, arm_faults, job_timeout_s, emit) -> dict:
         options = options.replace(**overrides)
     emit({"stage": "search", "resumed": resume, "faults": plan is not None})
     started = time.perf_counter()
-    result = function.auto_DSE(options=options)
+    result = workload.auto_DSE(options=options)
     wall_s = time.perf_counter() - started
     emit({"stage": "done", "evaluations": result.evaluations})
-    return {
-        "kind": "dse",
-        "design": dse_design_payload(result, spec.workload, spec.size),
-        "search": {
+    if isinstance(workload, DataflowDesign):
+        design = dataflow_design_payload(result, spec.workload, spec.size)
+        search = {
+            "evaluations": result.evaluations,
+            "degraded": bool(result.quarantine),
+            "quarantine": [q.diagnostic.code for q in result.quarantine],
+            "diagnostics": [],
+        }
+    else:
+        design = dse_design_payload(result, spec.workload, spec.size)
+        search = {
             "evaluations": result.evaluations,
             "degraded": result.degraded,
             "quarantine": [q.diagnostic.code for q in result.quarantine],
             "diagnostics": [d.code for d in result.diagnostics],
-        },
+        }
+    return {
+        "kind": "dse",
+        "design": design,
+        "search": search,
         "timing": {
             "wall_s": round(wall_s, 6),
             "dse_time_s": round(result.dse_time_s, 6),
@@ -396,8 +435,11 @@ def _execute_trace(spec, job_timeout_s, emit) -> dict:
     with _trace.tracing(tracer), _job_deadline(job_timeout_s):
         if spec.options.get("dse"):
             function.auto_DSE()
-        else:
+        elif hasattr(function, "lower"):
             function.lower()
+            function.estimate()
+        else:
+            # Dataflow designs: estimation lowers every stage itself.
             function.estimate()
     wall_s = time.perf_counter() - started
     counters, _histograms = tracer.metrics.as_plain()

@@ -1,0 +1,163 @@
+"""Dataflow workloads: multi-kernel FIFO pipelines (``docs/dataflow.md``).
+
+Two end-to-end task pipelines built from the same kernel vocabulary as
+the single-function suites:
+
+* :func:`image_pipeline` -- the EdgeDetect application of
+  :mod:`repro.workloads.image` split into three streaming stages
+  (smooth -> gradients -> magnitude), the paper's image pipelines as an
+  ``#pragma HLS dataflow`` accelerator;
+* :func:`conv_block` -- a DNN building block, conv3x3 -> ReLU ->
+  maxpool2x2, whose strided pooling read demonstrates the ping-pong
+  (full-frame) FIFO fallback next to the line-buffer channels.
+
+These build :class:`~repro.dataflow.DataflowDesign` objects, not
+Functions -- registry consumers that only handle single kernels filter
+with ``repro.workloads.names(kind="function")``.
+"""
+
+from __future__ import annotations
+
+from repro.dataflow import DataflowDesign, Pipeline
+from repro.dsl import Function, compute, maximum, p_float32, placeholder, var
+
+
+def _smooth_stage(n: int) -> Function:
+    with Function("smooth") as f:
+        i = var("i", 1, n - 1)
+        j = var("j", 1, n - 1)
+        img = placeholder("img", (n, n), p_float32)
+        sm = placeholder("sm", (n, n), p_float32)
+        compute(
+            "Ssm", [i, j],
+            (img(i - 1, j) + img(i + 1, j) + img(i, j - 1) + img(i, j + 1)
+             + img(i, j)) * 0.2,
+            sm(i, j),
+        )
+    return f
+
+
+def _grad_stage(n: int) -> Function:
+    with Function("grad") as f:
+        i = var("i", 1, n - 1)
+        j = var("j", 1, n - 1)
+        sm = placeholder("sm", (n, n), p_float32)
+        gx = placeholder("gx", (n, n), p_float32)
+        gy = placeholder("gy", (n, n), p_float32)
+        compute(
+            "Sgx", [i, j],
+            sm(i - 1, j + 1) + sm(i, j + 1) * 2.0 + sm(i + 1, j + 1)
+            - sm(i - 1, j - 1) - sm(i, j - 1) * 2.0 - sm(i + 1, j - 1),
+            gx(i, j),
+        )
+        compute(
+            "Sgy", [i, j],
+            sm(i + 1, j - 1) + sm(i + 1, j) * 2.0 + sm(i + 1, j + 1)
+            - sm(i - 1, j - 1) - sm(i - 1, j) * 2.0 - sm(i - 1, j + 1),
+            gy(i, j),
+        )
+    return f
+
+
+def _mag_stage(n: int) -> Function:
+    with Function("mag") as f:
+        i = var("i", 1, n - 1)
+        j = var("j", 1, n - 1)
+        gx = placeholder("gx", (n, n), p_float32)
+        gy = placeholder("gy", (n, n), p_float32)
+        mag = placeholder("mag", (n, n), p_float32)
+        compute(
+            "Smag", [i, j],
+            gx(i, j) * gx(i, j) + gy(i, j) * gy(i, j),
+            mag(i, j),
+        )
+    return f
+
+
+def image_pipeline(n: int = 32) -> DataflowDesign:
+    """EdgeDetect as a 3-stage task pipeline: smooth -> grad -> mag.
+
+    Streams ``sm`` (one line-buffer window), ``gx``/``gy`` (pointwise
+    channels); ``img`` in and ``mag`` out are external.
+    """
+    if n < 8:
+        raise ValueError(f"image_pipeline needs n >= 8, got {n}")
+    p = Pipeline("image_pipeline")
+    p.add_stage(_smooth_stage(n))
+    p.add_stage(_grad_stage(n))
+    p.add_stage(_mag_stage(n))
+    p.stream("smooth", "grad", "sm")
+    p.stream("grad", "mag", "gx")
+    p.stream("grad", "mag", "gy")
+    return p.build()
+
+
+def _conv_stage(n: int) -> Function:
+    with Function("conv") as f:
+        i = var("i", 1, n - 1)
+        j = var("j", 1, n - 1)
+        img = placeholder("img", (n, n), p_float32)
+        cv = placeholder("cv", (n, n), p_float32)
+        compute(
+            "Sconv", [i, j],
+            img(i - 1, j - 1) * 0.0625 + img(i - 1, j) * 0.125
+            + img(i - 1, j + 1) * 0.0625
+            + img(i, j - 1) * 0.125 + img(i, j) * 0.25 + img(i, j + 1) * 0.125
+            + img(i + 1, j - 1) * 0.0625 + img(i + 1, j) * 0.125
+            + img(i + 1, j + 1) * 0.0625,
+            cv(i, j),
+        )
+    return f
+
+
+def _relu_stage(n: int) -> Function:
+    with Function("relu") as f:
+        i = var("i", 1, n - 1)
+        j = var("j", 1, n - 1)
+        cv = placeholder("cv", (n, n), p_float32)
+        act = placeholder("act", (n, n), p_float32)
+        compute("Srelu", [i, j], maximum(cv(i, j), 0.0), act(i, j))
+    return f
+
+
+def _pool_stage(n: int) -> Function:
+    with Function("pool") as f:
+        i = var("i", 0, n // 2)
+        j = var("j", 0, n // 2)
+        act = placeholder("act", (n, n), p_float32)
+        pool = placeholder("pooled", (n // 2, n // 2), p_float32)
+        compute(
+            "Spool", [i, j],
+            maximum(
+                maximum(act(2 * i, 2 * j), act(2 * i, 2 * j + 1)),
+                maximum(act(2 * i + 1, 2 * j), act(2 * i + 1, 2 * j + 1)),
+            ),
+            pool(i, j),
+        )
+    return f
+
+
+def conv_block(n: int = 16) -> DataflowDesign:
+    """A DNN block as a task pipeline: conv3x3 -> ReLU -> maxpool2x2.
+
+    The ``cv`` channel is pointwise (min-depth FIFO); the ``act``
+    channel is read with stride 2 by pooling, so it degrades to a
+    full-frame ping-pong buffer -- both cost models in one design.  The
+    pool window also touches the zero border of ``act`` (rows/cols 0),
+    which the validator flags as a DFL006 warning by design.
+    """
+    if n < 8 or n % 2:
+        raise ValueError(f"conv_block needs an even n >= 8, got {n}")
+    p = Pipeline("conv_block")
+    p.add_stage(_conv_stage(n))
+    p.add_stage(_relu_stage(n))
+    p.add_stage(_pool_stage(n))
+    p.stream("conv", "relu", "cv")
+    p.stream("relu", "pool", "act")
+    return p.build()
+
+
+SUITE = {
+    "image-pipeline": image_pipeline,
+    "conv-block": conv_block,
+}

@@ -102,9 +102,9 @@ class TestScaleHls:
     def test_respects_budget(self):
         f = polybench.gemm(128, baseline=True)
         result = scalehls.optimize(f, resource_fraction=0.25)
-        from repro.hls.device import XC7Z020
+        from repro.hls.device import DEFAULT_DEVICE
 
-        assert result.report.resources.dsp <= XC7Z020.scaled(0.25).dsp
+        assert result.report.resources.dsp <= DEFAULT_DEVICE.scaled(0.25).dsp
 
     def test_dataflow_mode_allows_overflow(self):
         from repro.workloads import dnn

@@ -1,0 +1,61 @@
+"""HLS C generation for dataflow designs: pragmas, streams, structure."""
+
+import pytest
+
+from repro.dataflow import generate_dataflow_hls_c
+from repro.workloads.dataflow import conv_block, image_pipeline
+
+pytestmark = pytest.mark.dataflow
+
+
+class TestImagePipelineCodegen:
+    @pytest.fixture(scope="class")
+    def code(self):
+        return generate_dataflow_hls_c(image_pipeline(8))
+
+    def test_dataflow_pragma_in_wrapper(self, code):
+        assert "#pragma HLS dataflow" in code
+
+    def test_stream_declarations(self, code):
+        assert "#include <hls_stream.h>" in code
+        for array in ("sm", "gx", "gy"):
+            assert f"static hls::stream<float> {array}_s;" in code
+
+    def test_depth_pragmas_use_minimums(self, code):
+        assert "#pragma HLS stream variable=sm_s depth=19" in code
+        assert "#pragma HLS stream variable=gx_s depth=2" in code
+        assert "#pragma HLS stream variable=gy_s depth=2" in code
+
+    def test_one_subfunction_per_stage(self, code):
+        for stage in ("smooth", "grad", "mag"):
+            assert f"static void image_pipeline_{stage}(" in code
+
+    def test_wrapper_takes_only_externals(self, code):
+        wrapper = code[code.index("void image_pipeline("):]
+        signature = wrapper[:wrapper.index(")")]
+        assert "img" in signature and "mag" in signature
+        assert "sm" not in signature and "hls::stream" not in signature
+
+    def test_stream_io_uses_read_write(self, code):
+        assert ".read()" in code and ".write(" in code
+
+    def test_stages_called_in_topo_order(self, code):
+        wrapper = code[code.index("void image_pipeline("):]
+        assert (
+            wrapper.index("image_pipeline_smooth(")
+            < wrapper.index("image_pipeline_grad(")
+            < wrapper.index("image_pipeline_mag(")
+        )
+
+
+class TestConvBlockCodegen:
+    def test_both_channel_kinds_emit(self):
+        code = generate_dataflow_hls_c(conv_block(8))
+        assert "#pragma HLS dataflow" in code
+        assert "#pragma HLS stream variable=cv_s depth=2" in code
+        # act degrades to a full 8x8 ping-pong frame
+        assert "#pragma HLS stream variable=act_s depth=64" in code
+
+    def test_depth_overrides_change_pragmas(self):
+        code = generate_dataflow_hls_c(conv_block(8), depths={"cv": 16})
+        assert "#pragma HLS stream variable=cv_s depth=16" in code

@@ -1,0 +1,206 @@
+"""DataflowDesign construction and the DFL00x validation contract."""
+
+import pytest
+
+from repro.dataflow import DataflowDesign, Pipeline
+from repro.diagnostics import DiagnosticError
+from repro.dsl import Function, compute, p_float32, placeholder, var
+from repro.workloads.dataflow import conv_block, image_pipeline
+
+pytestmark = pytest.mark.dataflow
+
+N = 8
+
+
+def _producer(out="a", shape=(N,)):
+    with Function("prod") as f:
+        i = var("i", 0, shape[0])
+        x = placeholder("x", shape, p_float32)
+        a = placeholder(out, shape, p_float32)
+        compute("Sp", [i], x(i) * 2.0, a(i))
+    return f
+
+
+def _consumer(inp="a", shape=(N,)):
+    with Function("cons") as f:
+        i = var("i", 0, shape[0])
+        a = placeholder(inp, shape, p_float32)
+        y = placeholder("y", shape, p_float32)
+        compute("Sc", [i], a(i) + 1.0, y(i))
+    return f
+
+
+def _two_stage():
+    p = Pipeline("pipe")
+    p.add_stage(_producer())
+    p.add_stage(_consumer())
+    p.stream("prod", "cons", "a")
+    return p
+
+
+def _code(excinfo) -> str:
+    return excinfo.value.diagnostic.code
+
+
+class TestPipelineBuilder:
+    def test_build_valid_two_stage(self):
+        design = _two_stage().build()
+        assert isinstance(design, DataflowDesign)
+        assert list(design.stages) == ["prod", "cons"]
+        assert design.stream_arrays() == ("a",)
+        assert set(design.external_arrays()) == {"x", "y"}
+        assert [s.name for s in design.topo_order()] == ["prod", "cons"]
+
+    def test_stage_name_defaults_to_function_name(self):
+        p = Pipeline("pipe")
+        p.add_stage(_producer(), name="first")
+        assert p._stages[0].name == "first"
+
+    def test_duplicate_stage_name(self):
+        p = Pipeline("pipe")
+        p.add_stage(_producer())
+        with pytest.raises(ValueError, match="duplicate stage"):
+            p.add_stage(_producer())
+
+    def test_non_function_stage(self):
+        with pytest.raises(TypeError, match="expects a Function"):
+            Pipeline("pipe").add_stage(object())
+
+    def test_invalid_design_name(self):
+        with pytest.raises(ValueError, match="invalid design name"):
+            Pipeline("not a name")
+
+    def test_builder_chains(self):
+        p = Pipeline("pipe")
+        assert p.add_stage(_producer()) is p
+        assert p.stream("prod", "cons", "a") is p
+
+
+class TestValidation:
+    def test_dfl001_unknown_stage(self):
+        p = Pipeline("pipe")
+        p.add_stage(_producer())
+        p.add_stage(_consumer())
+        p.stream("prod", "nope", "a")
+        with pytest.raises(DiagnosticError, match="unknown stage") as excinfo:
+            p.build()
+        assert _code(excinfo) == "DFL001"
+
+    def test_dfl002_not_written_by_producer(self):
+        p = Pipeline("pipe")
+        p.add_stage(_producer())
+        p.add_stage(_consumer())
+        p.stream("cons", "prod", "a")  # backwards: cons never writes a
+        with pytest.raises(DiagnosticError, match="not written") as excinfo:
+            p.build()
+        assert _code(excinfo) == "DFL002"
+
+    def test_dfl002_not_read_by_consumer(self):
+        with Function("prod") as two_out:
+            i = var("i", 0, N)
+            x = placeholder("x", (N,), p_float32)
+            a = placeholder("a", (N,), p_float32)
+            b = placeholder("b", (N,), p_float32)
+            compute("Sa", [i], x(i) * 2.0, a(i))
+            compute("Sb", [i], x(i) * 3.0, b(i))
+        p = Pipeline("pipe")
+        p.add_stage(two_out)
+        p.add_stage(_consumer(inp="a"))
+        p.stream("prod", "cons", "b")  # cons reads a, never b
+        with pytest.raises(DiagnosticError, match="not read") as excinfo:
+            p.build()
+        assert _code(excinfo) == "DFL002"
+
+    def test_dfl003_shape_disagreement(self):
+        p = Pipeline("pipe")
+        p.add_stage(_producer(shape=(N,)))
+        p.add_stage(_consumer(shape=(N * 2,)))
+        p.stream("prod", "cons", "a")
+        with pytest.raises(DiagnosticError, match="disagrees") as excinfo:
+            p.build()
+        assert _code(excinfo) == "DFL003"
+
+    def test_dfl004_cycle(self):
+        def _stage(name, inp, out):
+            with Function(name) as f:
+                i = var("i", 0, N)
+                a = placeholder(inp, (N,), p_float32)
+                b = placeholder(out, (N,), p_float32)
+                compute("S" + name, [i], a(i) + 1.0, b(i))
+            return f
+
+        p = Pipeline("pipe")
+        p.add_stage(_stage("f", "b", "a"))
+        p.add_stage(_stage("g", "a", "b"))
+        p.stream("f", "g", "a")
+        p.stream("g", "f", "b")
+        with pytest.raises(DiagnosticError, match="cycle") as excinfo:
+            p.build()
+        assert _code(excinfo) == "DFL004"
+
+    def test_dfl005_two_edges_one_array(self):
+        p = Pipeline("pipe")
+        p.add_stage(_producer())
+        p.add_stage(_consumer(), name="c1")
+        p.add_stage(_consumer(), name="c2")
+        p.stream("prod", "c1", "a")
+        p.stream("prod", "c2", "a")
+        with pytest.raises(DiagnosticError, match="exactly one") as excinfo:
+            p.build()
+        assert _code(excinfo) == "DFL005"
+
+    def test_dfl005_extra_reader_beyond_edge(self):
+        p = Pipeline("pipe")
+        p.add_stage(_producer())
+        p.add_stage(_consumer(), name="c1")
+        p.add_stage(_consumer(), name="c2")
+        p.stream("prod", "c1", "a")  # c2 also reads a, undeclared
+        with pytest.raises(DiagnosticError, match="extra") as excinfo:
+            p.build()
+        assert _code(excinfo) == "DFL005"
+
+    def test_dfl007_declared_depth_below_one(self):
+        p = _two_stage()
+        p._edges[0].depth = 0
+        with pytest.raises(DiagnosticError, match="depth") as excinfo:
+            p.build()
+        assert _code(excinfo) == "DFL007"
+
+    def test_dfl008_undeclared_inter_stage_traffic(self):
+        p = Pipeline("pipe")
+        p.add_stage(_producer())
+        p.add_stage(_consumer())  # reads a, no stream edge declared
+        with pytest.raises(DiagnosticError, match="no stream edge") as excinfo:
+            p.build()
+        assert _code(excinfo) == "DFL008"
+
+    def test_dfl006_border_read_is_a_warning_not_an_error(self):
+        design = conv_block(8)  # pool reads act's zero border by design
+        codes = [w.code for w in design.warnings]
+        assert "DFL006" in codes
+
+    def test_image_pipeline_clean(self):
+        design = image_pipeline(8)
+        # grad reads sm rows/cols 0..n-1 while smooth writes 1..n-2;
+        # that border read is the one expected DFL006 finding.
+        assert all(w.code == "DFL006" for w in design.warnings)
+
+
+class TestVerify:
+    def test_verify_clean_design(self):
+        engine = _two_stage().build().verify()
+        assert not engine.has_errors
+
+    def test_verify_collects_structural_error(self):
+        p = Pipeline("pipe")
+        p.add_stage(_producer())
+        p.add_stage(_consumer())
+        design = DataflowDesign("pipe", list(p._stages), [])  # skip build()
+        engine = design.verify()
+        assert engine.has_errors
+        assert any(d.code == "DFL008" for d in engine.diagnostics)
+
+    def test_verify_includes_dfl006_warnings(self):
+        engine = conv_block(8).verify()
+        assert not engine.has_errors
+        assert any(d.code == "DFL006" for d in engine.diagnostics)

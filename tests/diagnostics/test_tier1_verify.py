@@ -6,35 +6,25 @@ and this sweep additionally checks the preflight on every workload's
 as-shipped schedule.
 """
 
-import inspect
-
 import pytest
 
+from repro import workloads
 from repro.affine.passes import verify_func
 from repro.preflight import preflight_function
-from repro.workloads import ALL_SUITES
 
 pytestmark = pytest.mark.diagnostics
 
 
-def _small(factory):
-    params = inspect.signature(factory).parameters
-    first = next(iter(params.values()), None)
-    if first is not None and first.name in ("n", "size"):
-        return factory(8)
-    return factory()
+def _small(name):
+    try:
+        return workloads.get(name, 8)
+    except TypeError:  # builder takes no size parameter
+        return workloads.get(name)
 
 
-ALL_WORKLOADS = [
-    pytest.param(factory, id=f"{suite_name}/{name}")
-    for suite_name, suite in ALL_SUITES.items()
-    for name, factory in suite.items()
-]
-
-
-@pytest.mark.parametrize("factory", ALL_WORKLOADS)
-def test_workload_passes_preflight_and_verifier(factory):
-    function = _small(factory)
+@pytest.mark.parametrize("name", workloads.names(kind="function"))
+def test_workload_passes_preflight_and_verifier(name):
+    function = _small(name)
 
     preflight = preflight_function(function)
     assert not preflight.has_errors, preflight.render()
@@ -43,4 +33,11 @@ def test_workload_passes_preflight_and_verifier(factory):
     # regression in the default wiring cannot mask a broken lowering.
     func = function.lower()
     engine = verify_func(func)
+    assert not engine.has_errors, engine.render()
+
+
+@pytest.mark.parametrize("name", workloads.names(kind="dataflow"))
+def test_dataflow_workload_passes_verify(name):
+    design = _small(name)
+    engine = design.verify()
     assert not engine.has_errors, engine.render()

@@ -10,7 +10,8 @@ from repro.dse.stats import DseStats
 from repro.hls.estimator import HlsEstimator
 from repro.hls.report import speedup
 from repro.polyir.program import PolyProgram
-from repro.workloads import ALL_SUITES, polybench
+from repro import workloads
+from repro.workloads import polybench
 from repro.dse.options import DseOptions
 
 CACHE_WORKLOADS = ["gemm", "bicg", "mm2", "mm3", "gesummv"]
@@ -41,15 +42,9 @@ class TestCachedEqualsUncached:
 class TestIncrementalLowering:
     """Per-nest lowering splices exactly what a full lowering produces."""
 
-    @pytest.mark.parametrize(
-        "name",
-        sorted({name for suite in ALL_SUITES.values() for name in suite}),
-    )
+    @pytest.mark.parametrize("name", workloads.names(kind="function"))
     def test_equivalent_to_full_lowering(self, name):
-        registry = {}
-        for suite in ALL_SUITES.values():
-            registry.update(suite)
-        function = registry[name]()
+        function = workloads.get(name)
         program = PolyProgram(function).apply_schedule()
         full = print_func(lower_program(program))
         incremental = print_func(lower_program_incremental(program, cache={}))

@@ -12,7 +12,7 @@ import warnings
 import pytest
 
 from repro.dse import MAX_PARALLELISM, DseOptions, auto_dse
-from repro.hls import XC7Z020
+from repro.hls import DEFAULT_DEVICE
 from repro.workloads import polybench
 
 
@@ -61,8 +61,8 @@ class TestParity:
         assert _outcome(legacy) == _outcome(modern)
 
     def test_positional_device_matches_options_device(self):
-        legacy, message = _legacy(lambda: auto_dse(polybench.gemm(16), XC7Z020))
-        modern = auto_dse(polybench.gemm(16), options=DseOptions(device=XC7Z020))
+        legacy, message = _legacy(lambda: auto_dse(polybench.gemm(16), DEFAULT_DEVICE))
+        modern = auto_dse(polybench.gemm(16), options=DseOptions(device=DEFAULT_DEVICE))
         assert _outcome(legacy) == _outcome(modern)
         assert "DseOptions" in message
 

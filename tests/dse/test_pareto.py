@@ -25,7 +25,7 @@ from repro.dse.pareto import (
 from repro.dse.engine import DseResult
 from repro.dse.stage2 import NodeConfig
 from repro.hls.report import LoopReport, Resources, SynthesisReport
-from repro.hls.device import XC7Z020
+from repro.hls.device import DEFAULT_DEVICE
 from repro.workloads import polybench
 
 
@@ -220,7 +220,7 @@ def _report(cycles, ii=1, dsp=0):
                    achieved_ii=ii, depth=3, latency=cycles)
     ]
     return SynthesisReport(
-        function_name="f", device=XC7Z020, clock_ns=10.0,
+        function_name="f", device=DEFAULT_DEVICE, clock_ns=10.0,
         total_cycles=cycles, resources=Resources(dsp=dsp), loops=loops,
     )
 

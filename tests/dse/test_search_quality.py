@@ -19,7 +19,7 @@ from repro.dse.stage2 import (
     stage1_program,
 )
 from repro.hls.estimator import HlsEstimator
-from repro.hls.device import XC7Z020
+from repro.hls.device import DEFAULT_DEVICE
 from repro.affine.lowering import lower_program
 from repro.polyir.program import PolyProgram
 from repro.workloads import polybench

@@ -5,7 +5,7 @@ import pytest
 
 from repro.dsl import Function, compute, placeholder, var
 from repro.affine import interpret
-from repro.hls import XC7Z020
+from repro.hls import DEFAULT_DEVICE
 from repro.hls.report import speedup
 from repro.pipeline import estimate, lower_to_affine
 from repro.workloads import polybench, stencils
@@ -120,7 +120,7 @@ class TestAutoDse:
     def test_resource_constraint_respected(self):
         f = polybench.gemm(64)
         result = auto_dse(f, options=DseOptions(resource_fraction=0.25))
-        quarter = XC7Z020.scaled(0.25)
+        quarter = DEFAULT_DEVICE.scaled(0.25)
         assert result.report.resources.dsp <= quarter.dsp
         assert result.report.resources.lut <= quarter.lut
 

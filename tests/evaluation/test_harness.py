@@ -62,7 +62,7 @@ class TestExperimentRegistry:
         expected = {
             "fig2", "table3", "fig11", "table4", "fig12",
             "table5", "table6", "fig13", "table7", "fig14", "fig15",
-            "pareto_front",
+            "pareto_front", "dataflow",
         }
         assert set(ALL_EXPERIMENTS) == expected
 

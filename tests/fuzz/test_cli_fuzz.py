@@ -50,8 +50,9 @@ class TestPlanning:
             FuzzOptions(**bad).validate()
 
     def test_validate_rejects_unknown_workload(self):
-        with pytest.raises(KeyError):
+        with pytest.raises(ValueError, match="unknown workload") as excinfo:
             FuzzOptions(workloads=("gemm", "nope")).validate()
+        assert excinfo.value.diagnostic.code == "WLD001"
 
 
 class TestCampaign:

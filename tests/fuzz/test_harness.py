@@ -60,8 +60,12 @@ class TestWorkloadLookup:
         assert function.name == "gemm"
 
     def test_unknown_name_raises(self):
-        with pytest.raises(KeyError, match="unknown workload"):
+        from repro.diagnostics import DiagnosticError
+
+        with pytest.raises(ValueError, match="unknown workload") as excinfo:
             workload_factory("nope")
+        assert isinstance(excinfo.value, DiagnosticError)
+        assert excinfo.value.diagnostic.code == "WLD001"
 
 
 class TestCleanTrials:
@@ -145,6 +149,42 @@ class TestInjectedBug:
         write_repro_script(result, path)
         with open(path) as handle:
             assert "bogus" not in handle.read()
+
+
+class TestDataflowTrials:
+    @pytest.mark.parametrize("name", ["image-pipeline", "conv-block"])
+    @pytest.mark.parametrize("seed", [0, 5])
+    def test_trials_pass_on_healthy_tree(self, name, seed):
+        result = run_trial(name, 8, seed)
+        assert result.kind == "pass", result.as_dict()
+        # Dataflow trials mutate one named stage of the design.
+        assert result.schedule["stage"] in build_workload(name, 8).stages
+
+    def test_trial_is_deterministic(self):
+        assert (
+            run_trial("image-pipeline", 8, 9).as_dict()
+            == run_trial("image-pipeline", 8, 9).as_dict()
+        )
+
+    def test_injected_bug_blames_sim(self, corrupted_sim):
+        failures = []
+        for seed in range(10):
+            result = run_trial("conv-block", 8, seed)
+            if result.kind == "mismatch":
+                failures.append(result)
+        assert failures, "injected bug never surfaced across 10 trials"
+        assert all(r.oracle == "sim" for r in failures)
+
+    def test_shrink_preserves_the_stage_key(self, corrupted_sim):
+        result = next(
+            r for s in range(10)
+            if (r := run_trial("conv-block", 8, s)).kind == "mismatch"
+        )
+        minimized = shrink_failure(result)
+        assert minimized["stage"] == result.schedule["stage"]
+        assert len(minimized["directives"]) <= len(
+            result.schedule["directives"]
+        )
 
 
 class TestReplayVerdicts:

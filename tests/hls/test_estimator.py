@@ -3,7 +3,7 @@
 import pytest
 
 from repro.dsl import Function, compute, placeholder, var
-from repro.hls import HlsEstimator, XC7Z020
+from repro.hls import DEFAULT_DEVICE, HlsEstimator
 from repro.pipeline import estimate, lower_to_affine
 
 
@@ -226,7 +226,7 @@ class TestSkewedLoops:
 class TestEstimatorConfig:
     def test_custom_device(self):
         f, _, _ = gemm(8)
-        small = XC7Z020.scaled(0.1)
+        small = DEFAULT_DEVICE.scaled(0.1)
         report = HlsEstimator(device=small).estimate(lower_to_affine(f))
         assert report.device is small
 

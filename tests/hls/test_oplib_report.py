@@ -4,7 +4,7 @@ import pytest
 
 from repro.dsl import dtypes
 from repro.hls import oplib
-from repro.hls.device import XC7Z020
+from repro.hls.device import DEFAULT_DEVICE
 from repro.hls.power import estimate_power
 from repro.hls.report import LoopReport, Resources, SynthesisReport, speedup
 
@@ -65,7 +65,7 @@ class TestResources:
 def _report(cycles, dsp=0, lut=0, ff=0, loops=()):
     return SynthesisReport(
         function_name="f",
-        device=XC7Z020,
+        device=DEFAULT_DEVICE,
         clock_ns=10.0,
         total_cycles=cycles,
         resources=Resources(dsp=dsp, lut=lut, ff=ff),

@@ -18,7 +18,7 @@ from repro.dse import auto_dse
 from repro.dse.checkpoint import CheckpointJournal, make_header
 from repro.dse.engine import _backoff_sleep
 from repro.faults import Fault, FaultPlan
-from repro.hls.device import XC7Z020
+from repro.hls.device import DEFAULT_DEVICE
 from repro.util.deadline import Deadline, DeadlineExceeded, deadline_scope
 from repro.workloads import polybench
 from repro.dse.options import DseOptions
@@ -144,7 +144,7 @@ class TestNoStrayJournalOnEarlyRaise:
     def test_journal_discard_removes_the_file(self, tmp_path):
         path = tmp_path / "sweep.jsonl"
         function = polybench.gemm(16)
-        header = make_header(function, XC7Z020, 1.0, 10.0, 256, False)
+        header = make_header(function, DEFAULT_DEVICE, 1.0, 10.0, 256, False)
         journal = CheckpointJournal.create(str(path), header)
         assert path.exists()
         journal.discard()

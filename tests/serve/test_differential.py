@@ -14,8 +14,13 @@ tile vectors, and the installed schedule's fingerprints.
 import pytest
 
 from repro.dse import auto_dse
+from repro.dse.options import DseOptions
 from repro.dse.parallel import build_workload
-from repro.serve.jobs import design_fingerprint, dse_design_payload
+from repro.serve.jobs import (
+    dataflow_design_payload,
+    design_fingerprint,
+    dse_design_payload,
+)
 
 pytestmark = pytest.mark.serve
 
@@ -158,6 +163,85 @@ def test_pareto_dse_jobs_match_batch_frontier(serve_factory):
         "dse", name, size, options={"objective": "single"}
     )
     assert status == 202
+
+
+#: Dataflow designs run their joint balancing DSE under a tight budget
+#: so the balanced-vs-naive gap is visible in the served payload too.
+DATAFLOW_WORKLOADS = (("image-pipeline", 16), ("conv-block", 8))
+DATAFLOW_OPTIONS = {"resource_fraction": 0.25}
+
+
+@pytest.fixture(scope="module")
+def batch_dataflow_designs():
+    """Sequential CLI-equivalent dataflow results, once per module."""
+    designs = {}
+    for name, size in DATAFLOW_WORKLOADS:
+        result = build_workload(name, size).auto_DSE(
+            options=DseOptions(**DATAFLOW_OPTIONS)
+        )
+        designs[(name, size)] = design_fingerprint(
+            dataflow_design_payload(result, name, size)
+        )
+    return designs
+
+
+def test_dataflow_dse_jobs_match_batch(serve_factory, batch_dataflow_designs):
+    """Multi-kernel pipeline DSE through HTTP bit-matches in-process."""
+    _server, client = serve_factory(subdir="dataflow")
+    for name, size in DATAFLOW_WORKLOADS:
+        record = client.run(
+            kind="dse", workload=name, size=size,
+            options=DATAFLOW_OPTIONS, timeout_s=180,
+        )
+        assert record["status"] == "done", record
+        design = record["result"]["design"]
+        assert design["balanced_speedup"] >= 1.0
+        assert design["frontier"], (name, size)
+        assert (
+            design_fingerprint(design)
+            == batch_dataflow_designs[(name, size)]
+        ), (name, size)
+
+    # Repeats are warm store hits carrying the identical design.
+    name, size = DATAFLOW_WORKLOADS[0]
+    status, payload = client.submit(
+        "dse", name, size, options=DATAFLOW_OPTIONS
+    )
+    assert status == 200
+    assert payload["cached"] is True
+    assert (
+        design_fingerprint(payload["result"]["design"])
+        == batch_dataflow_designs[(name, size)]
+    )
+
+
+def test_device_option_is_part_of_the_cache_key(serve_factory):
+    """Same workload, different --device: distinct store entries."""
+    _server, client = serve_factory(subdir="devices")
+    name, size = "conv-block", 8
+    zynq = {**DATAFLOW_OPTIONS, "device": "xc7z020"}
+    record = client.run(
+        kind="dse", workload=name, size=size, options=zynq, timeout_s=120
+    )
+    assert record["status"] == "done", record
+
+    # The exact same request is a warm hit ...
+    status, _payload = client.submit("dse", name, size, options=zynq)
+    assert status == 200
+    # ... but a different device name misses and runs fresh.
+    ultrascale = {**DATAFLOW_OPTIONS, "device": "xczu9eg"}
+    status, payload = client.submit("dse", name, size, options=ultrascale)
+    assert status == 202
+    record = client.wait_done(payload["job"], timeout_s=120)
+    assert record["status"] == "done", record
+
+    # Unknown device names are an SRV001 reject before any work runs.
+    status, payload = client.submit(
+        "dse", name, size, options={"device": "bogus-part"}
+    )
+    assert status == 400
+    assert payload["code"] == "SRV001"
+    assert "bogus-part" in payload["error"]
 
 
 def test_verify_jobs_match_in_process_verification(serve_factory):

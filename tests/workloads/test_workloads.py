@@ -4,7 +4,8 @@ import numpy as np
 import pytest
 
 from repro.depgraph import build_dependence_graph
-from repro.workloads import ALL_SUITES, dnn, image, polybench, stencils
+from repro import workloads
+from repro.workloads import dnn, image, polybench, stencils
 
 
 class TestPolybenchSemantics:
@@ -170,11 +171,83 @@ class TestDnnStructure:
 
 class TestSuiteRegistries:
     def test_all_suites_nonempty(self):
-        for name, suite in ALL_SUITES.items():
-            assert suite, name
+        for name, suite_names in workloads.suites().items():
+            assert suite_names, name
 
     def test_factories_produce_fresh_functions(self):
         f1 = polybench.gemm(8)
         f2 = polybench.gemm(8)
         assert f1 is not f2
         assert f1.computes[0] is not f2.computes[0]
+
+
+class TestWorkloadRegistry:
+    """The `repro.workloads.get/names/kind_of` front door."""
+
+    def test_get_builds_by_name(self):
+        function = workloads.get("gemm", 8)
+        assert function.name == "gemm"
+
+    def test_get_default_size(self):
+        assert workloads.get("gemm") is not None
+
+    def test_names_sorted_and_complete(self):
+        names = workloads.names()
+        assert names == tuple(sorted(names))
+        assert "gemm" in names and "image-pipeline" in names
+
+    def test_names_kind_filter(self):
+        functions = workloads.names(kind="function")
+        dataflow = workloads.names(kind="dataflow")
+        assert "gemm" in functions and "gemm" not in dataflow
+        assert "image-pipeline" in dataflow
+        assert set(functions) | set(dataflow) == set(workloads.names())
+        assert not set(functions) & set(dataflow)
+
+    def test_names_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown workload kind"):
+            workloads.names(kind="nope")
+
+    def test_kind_of(self):
+        assert workloads.kind_of("gemm") == "function"
+        assert workloads.kind_of("image-pipeline") == "dataflow"
+
+    def test_unknown_name_is_wld001(self):
+        from repro.diagnostics import DiagnosticError
+
+        with pytest.raises(DiagnosticError, match="unknown workload") as excinfo:
+            workloads.get("gemn", 8)
+        assert excinfo.value.diagnostic.code == "WLD001"
+        # the typo hint and the full listing both appear
+        assert "did you mean" in str(excinfo.value)
+        assert "gemm" in str(excinfo.value)
+
+    def test_wld001_is_a_valueerror(self):
+        # pre-registry callers caught ValueError/KeyError; the registry's
+        # DiagnosticError must keep matching the ValueError handlers.
+        with pytest.raises(ValueError):
+            workloads.kind_of("nope")
+
+    @pytest.mark.parametrize("size", [0, -3, True, 2.5, "8"])
+    def test_bad_size_is_wld002(self, size):
+        from repro.diagnostics import DiagnosticError
+
+        with pytest.raises(DiagnosticError) as excinfo:
+            workloads.get("gemm", size)
+        assert excinfo.value.diagnostic.code == "WLD002"
+
+    def test_unbuildable_size_is_wld002(self):
+        from repro.diagnostics import DiagnosticError
+
+        # image-pipeline requires n >= 8; the builder's ValueError is
+        # wrapped with the workload name and the stable code.
+        with pytest.raises(DiagnosticError, match="image-pipeline") as excinfo:
+            workloads.get("image-pipeline", 4)
+        assert excinfo.value.diagnostic.code == "WLD002"
+
+    def test_all_suites_shim_warns(self):
+        with pytest.warns(DeprecationWarning, match="ALL_SUITES"):
+            legacy = workloads.ALL_SUITES
+        assert "polybench" in legacy
+        assert "dataflow" not in legacy  # function-kind suites only
+        assert "gemm" in legacy["polybench"]
